@@ -1,0 +1,225 @@
+// Benchmarks regenerating every figure of the paper (one benchmark per
+// figure or figure group; see DESIGN.md's experiment index), plus
+// microbenchmarks of the simulator core. Custom metrics attach the
+// figure's headline numbers to the benchmark output:
+//
+//	go test -bench=. -benchmem
+package faircc_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"faircc"
+	"faircc/internal/exp"
+	"faircc/internal/net"
+	"faircc/internal/sim"
+)
+
+func benchCfg() exp.Config {
+	return exp.Config{Seed: 1, Scale: "small"}
+}
+
+// runExp runs a registered experiment once per iteration and returns the
+// last result.
+func runExp(b *testing.B, name string) *exp.Result {
+	b.Helper()
+	var res *exp.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = exp.Run(name, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// noteValue extracts the trailing float of the note containing marker.
+func noteValue(res *exp.Result, marker string) (float64, bool) {
+	for _, n := range res.Notes {
+		idx := strings.Index(n, marker)
+		if idx < 0 {
+			continue
+		}
+		s := strings.TrimSpace(n[idx+len(marker):])
+		end := 0
+		for end < len(s) && (s[end] == '-' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+			end++
+		}
+		if v, err := strconv.ParseFloat(s[:end], 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func reportConvergence(b *testing.B, res *exp.Result, labels ...string) {
+	for _, l := range labels {
+		if v, ok := noteValue(res, l+": smoothed Jain reaches 0.9 at "); ok {
+			b.ReportMetric(v, strings.ReplaceAll(l, " ", "_")+"_converge_us")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Fig. 1 (16-1 incast fairness and queues for
+// the HPCC and Swift baselines); the Jain figures dominate, so those are
+// what the iteration runs.
+func BenchmarkFig1(b *testing.B) {
+	res := runExp(b, "fig1a")
+	reportConvergence(b, res, "HPCC", "HPCC 1Gbps")
+	res = runExp(b, "fig1c")
+	reportConvergence(b, res, "Swift", "Swift 1Gbps")
+}
+
+// BenchmarkFig2And3 regenerates the staggered-incast start/finish figures.
+func BenchmarkFig2And3(b *testing.B) {
+	res := runExp(b, "fig2")
+	// Finish-time inversion (last-started finishes first) is the figure's
+	// point: report the default protocol's first/last finish times.
+	if v, ok := noteValue(res, "HPCC: first-started finishes at "); ok {
+		b.ReportMetric(v, "hpcc_first_flow_finish_us")
+	}
+	runExp(b, "fig3")
+}
+
+// BenchmarkFig4 regenerates the fluid model.
+func BenchmarkFig4(b *testing.B) {
+	res := runExp(b, "fig4")
+	peak := 0.0
+	for _, y := range res.Series[0].Y {
+		if y > peak {
+			peak = y
+		}
+	}
+	b.ReportMetric(peak, "gap_peak_bytes_per_ns")
+}
+
+// BenchmarkFig5And6 regenerates the VAI SF incast fairness figures (the
+// 16-1 variants; the 96-1 variants run under BenchmarkFig5c6c96To1).
+func BenchmarkFig5And6(b *testing.B) {
+	res := runExp(b, "fig5a")
+	reportConvergence(b, res, "HPCC", "HPCC VAI SF")
+	res = runExp(b, "fig6a")
+	reportConvergence(b, res, "Swift", "Swift VAI SF")
+}
+
+// BenchmarkFig5c6c96To1 regenerates the 96-1 incast fairness figures.
+func BenchmarkFig5c6c96To1(b *testing.B) {
+	res := runExp(b, "fig5c")
+	reportConvergence(b, res, "HPCC", "HPCC VAI SF")
+	res = runExp(b, "fig6c")
+	reportConvergence(b, res, "Swift", "Swift VAI SF")
+}
+
+// BenchmarkFig8And9 regenerates the VAI SF start/finish figures.
+func BenchmarkFig8And9(b *testing.B) {
+	runExp(b, "fig8")
+	runExp(b, "fig9")
+}
+
+// BenchmarkFig10To13 regenerates the datacenter slowdown figures at small
+// scale and reports the headline long-flow tail improvement factors.
+func BenchmarkFig10To13(b *testing.B) {
+	res := runExp(b, "fig10")
+	if v, ok := noteValue(res, "HPCC long-flow tail improvement: "); ok {
+		b.ReportMetric(v, "hadoop_hpcc_tail_improvement_x")
+	}
+	if v, ok := noteValue(res, "Swift long-flow tail improvement: "); ok {
+		b.ReportMetric(v, "hadoop_swift_tail_improvement_x")
+	}
+	res = runExp(b, "fig11")
+	if v, ok := noteValue(res, "HPCC long-flow tail improvement: "); ok {
+		b.ReportMetric(v, "mix_hpcc_tail_improvement_x")
+	}
+	runExp(b, "fig12")
+	runExp(b, "fig13")
+}
+
+// BenchmarkAblations runs the parameter sweeps.
+func BenchmarkAblations(b *testing.B) {
+	runExp(b, "ablate-aicap")
+	runExp(b, "ablate-sf")
+	runExp(b, "ablate-newflow")
+}
+
+// --- simulator core microbenchmarks ---
+
+// BenchmarkEngineSchedule measures raw event throughput.
+func BenchmarkEngineSchedule(b *testing.B) {
+	eng := sim.NewEngine()
+	b.ReportAllocs()
+	n := 0
+	var chain func()
+	chain = func() {
+		n++
+		if n < b.N {
+			eng.After(10, chain)
+		}
+	}
+	eng.At(0, chain)
+	eng.Run()
+	if n < b.N {
+		b.Fatal("chain terminated early")
+	}
+}
+
+// BenchmarkPacketForwarding measures end-to-end packet cost: one flow at
+// line rate across one switch, per-packet ACKs.
+func BenchmarkPacketForwarding(b *testing.B) {
+	b.ReportAllocs()
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, 1)
+	star := faircc.NewStar(nw, 2, 100e9, faircc.Microsecond)
+	size := int64(b.N) * 1000
+	f := nw.AddFlow(faircc.FlowSpec{ID: 1, Src: star.Hosts[0].NodeID(),
+		Dst: star.Hosts[1].NodeID(), Size: size}, hpccAlgo())
+	b.ResetTimer()
+	eng.Run()
+	if !f.Finished() {
+		b.Fatal("flow did not finish")
+	}
+	b.SetBytes(1000)
+}
+
+func hpccAlgo() faircc.Algorithm { return faircc.NewHPCC() }
+
+// BenchmarkIncast16HPCCVAISF measures a whole 16-1 incast simulation with
+// the paper's mechanisms enabled.
+func BenchmarkIncast16HPCCVAISF(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := faircc.NewEngine()
+		nw := faircc.NewNetwork(eng, 1)
+		star := faircc.NewStar(nw, 17, 100e9, faircc.Microsecond)
+		srcs := make([]int, 16)
+		for j := range srcs {
+			srcs[j] = star.Hosts[j].NodeID()
+		}
+		for _, spec := range faircc.StaggeredIncast(srcs, star.Hosts[16].NodeID(),
+			1<<20, 2, 20*faircc.Microsecond, 0) {
+			nw.AddFlow(spec, faircc.NewHPCCVAISF(42_000))
+		}
+		eng.Run()
+	}
+}
+
+// BenchmarkFatTreeTraffic measures datacenter simulation throughput: a
+// small fat-tree at 50% Hadoop load for 200 us of simulated time.
+func BenchmarkFatTreeTraffic(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := faircc.NewEngine()
+		nw := net.New(eng, 1)
+		ft := faircc.NewFatTree(nw, faircc.DefaultFatTree().Scaled(2, 2, 2))
+		n := len(ft.Hosts)
+		for j := 0; j < 64; j++ {
+			src, dst := j%n, (j+3)%n
+			nw.AddFlow(faircc.FlowSpec{ID: j + 1, Src: ft.Hosts[src].NodeID(),
+				Dst: ft.Hosts[dst].NodeID(), Size: 100_000,
+				Start: sim.Time(j) * 3 * sim.Microsecond}, faircc.NewHPCC())
+		}
+		eng.Run()
+	}
+}

@@ -1,0 +1,183 @@
+// Command dcsim runs datacenter fat-tree simulations with CDF-driven
+// Poisson traffic and reports FCT slowdown statistics by flow-size class,
+// comparing a protocol with and without the paper's VAI + Sampling
+// Frequency mechanisms.
+//
+// Usage:
+//
+//	dcsim -workload hadoop -protocol hpcc -pods 2 -tors 2 -hosts 8 -ms 5
+//
+// Workloads: hadoop, websearch, storage, mix (websearch+storage).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+
+	"faircc"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "hadoop", "hadoop, websearch, storage, or mix")
+		protocol     = flag.String("protocol", "hpcc", "hpcc or swift")
+		pods         = flag.Int("pods", 2, "fat-tree pods")
+		tors         = flag.Int("tors", 2, "ToR (and Agg) switches per pod")
+		hosts        = flag.Int("hosts", 8, "hosts per ToR")
+		ms           = flag.Int("ms", 5, "traffic duration, milliseconds")
+		load         = flag.Float64("load", 0.5, "offered load as a fraction of host line rate")
+		seed         = flag.Int64("seed", 1, "simulation seed")
+		distFile     = flag.String("dist", "", "flow-size distribution file (HPCC-artifact format; overrides -workload)")
+	)
+	flag.Parse()
+
+	ftCfg := faircc.DefaultFatTree().Scaled(*pods, *tors, *hosts)
+	duration := faircc.Time(*ms) * faircc.Millisecond
+	name := *workloadName
+	if *distFile != "" {
+		name = *distFile
+	}
+	specs, err := genTraffic(name, ftCfg.NumHosts(), *load, duration, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcsim:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%s on %d-host fat-tree, %s traffic, %.0f%% load, %v: %d flows\n\n",
+		*protocol, ftCfg.NumHosts(), *workloadName, *load*100, duration, len(specs))
+
+	for _, vaisf := range []bool{false, true} {
+		label := *protocol
+		if vaisf {
+			label += " VAI SF"
+		}
+		recs, stats, err := run(*protocol, vaisf, ftCfg, specs, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s ---\n", label)
+		report(recs)
+		fmt.Printf("  fabric: %.2f GB switched, deepest queue %d KB\n\n",
+			float64(stats.FabricTxBytes)/1e9, stats.MaxQueuePeak/1000)
+	}
+}
+
+func genTraffic(name string, hosts int, load float64, duration faircc.Time, seed int64) ([]faircc.FlowSpec, error) {
+	var cdfs []*faircc.CDF
+	switch name {
+	case "hadoop":
+		cdfs = []*faircc.CDF{faircc.HadoopCDF()}
+	case "websearch":
+		cdfs = []*faircc.CDF{faircc.WebSearchCDF()}
+	case "storage":
+		cdfs = []*faircc.CDF{faircc.StorageCDF()}
+	case "mix":
+		cdfs = []*faircc.CDF{faircc.WebSearchCDF(), faircc.StorageCDF()}
+	default:
+		// Treat anything else as a distribution file path.
+		cdf, err := faircc.LoadCDF(name)
+		if err != nil {
+			return nil, fmt.Errorf("unknown workload or unreadable distribution %q: %w", name, err)
+		}
+		cdfs = []*faircc.CDF{cdf}
+	}
+	var specs []faircc.FlowSpec
+	id := 1
+	for i, cdf := range cdfs {
+		r := rand.New(rand.NewSource(seed + int64(i)))
+		lambda := load / float64(len(cdfs)) * 100e9 * float64(hosts) / (8 * cdf.Mean())
+		t := faircc.Time(0)
+		for {
+			t += faircc.Time(r.ExpFloat64() / lambda * 1e12)
+			if t >= duration {
+				break
+			}
+			src := r.Intn(hosts)
+			dst := src
+			for dst == src {
+				dst = r.Intn(hosts)
+			}
+			specs = append(specs, faircc.FlowSpec{
+				ID: id, Src: src, Dst: dst,
+				Size: int64(math.Max(1, cdf.Sample(r))), Start: t,
+			})
+			id++
+		}
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Start < specs[j].Start })
+	return specs, nil
+}
+
+func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec, seed int64) ([]faircc.FlowRecord, faircc.NetworkStats, error) {
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, seed)
+	faircc.NewFatTree(nw, ftCfg)
+	rec := &faircc.FCTRecorder{}
+	rec.Attach(nw)
+
+	const minBDP = 42_000.0
+	minBDPDelay := faircc.Time(minBDP * 8 * 1e12 / 100e9)
+	maker := func() faircc.Algorithm {
+		switch {
+		case protocol == "hpcc" && vaisf:
+			return faircc.NewHPCCVAISF(minBDP)
+		case protocol == "hpcc":
+			return faircc.NewHPCC()
+		case vaisf:
+			return faircc.NewSwiftVAISF(minBDPDelay)
+		default:
+			return faircc.NewSwift(100)
+		}
+	}
+	if protocol != "hpcc" && protocol != "swift" {
+		return nil, faircc.NetworkStats{}, fmt.Errorf("unknown protocol %q", protocol)
+	}
+	for _, spec := range specs {
+		nw.AddFlow(spec, maker())
+	}
+	eng.Run()
+	return rec.Records, nw.Stats(), nil
+}
+
+func report(recs []faircc.FlowRecord) {
+	classes := []struct {
+		name     string
+		min, max int64
+	}{
+		{"<10KB", 0, 10_000},
+		{"10KB-100KB", 10_000, 100_000},
+		{"100KB-1MB", 100_000, 1_000_000},
+		{">1MB", 1_000_000, 1 << 62},
+	}
+	fmt.Printf("  %-12s %8s %10s %10s %10s\n", "size class", "flows", "p50", "p99", "p99.9")
+	for _, c := range classes {
+		var xs []float64
+		for _, r := range recs {
+			if r.Size >= c.min && r.Size < c.max {
+				xs = append(xs, r.Slowdown)
+			}
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %8d %9.1fx %9.1fx %9.1fx\n", c.name, len(xs),
+			percentile(xs, 50), percentile(xs, 99), percentile(xs, 99.9))
+	}
+	fmt.Println()
+}
+
+func percentile(xs []float64, p float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

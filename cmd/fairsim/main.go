@@ -1,0 +1,128 @@
+// Command fairsim runs the paper-reproduction experiments by name and
+// writes their data series as CSV.
+//
+// Usage:
+//
+//	fairsim -list
+//	fairsim -exp fig1a [-scale small|medium|full] [-seed 1] [-out dir]
+//	fairsim -all [-scale medium] [-out results]
+//
+// Each experiment regenerates one figure of "Fast Convergence to Fairness
+// for Reduced Long Flow Tail Latency in Datacenter Networks" (Snyder &
+// Lebeck, IPDPS 2022); see DESIGN.md for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"faircc/internal/exp"
+	"faircc/internal/viz"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "list experiment names and exit")
+		name   = flag.String("exp", "", "experiment to run (e.g. fig1a)")
+		all    = flag.Bool("all", false, "run every registered experiment")
+		scale  = flag.String("scale", "medium", "datacenter experiment scale: small, medium, or full")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+		out    = flag.String("out", "", "directory for CSV output (default: stdout summary only)")
+		work   = flag.Int("workers", 0, "parallel variant runners (0 = GOMAXPROCS)")
+		plot   = flag.Bool("plot", false, "render an ASCII chart of each result")
+		verify = flag.Bool("verify", false, "check the paper's claims against fresh runs and exit")
+	)
+	flag.Parse()
+
+	if *verify {
+		cfg := exp.Config{Seed: *seed, Workers: *work, Scale: *scale}
+		failed := 0
+		for _, c := range exp.Claims() {
+			ok, detail, err := c.Check(cfg)
+			status := "PASS"
+			if err != nil {
+				status, detail = "ERROR", err.Error()
+			} else if !ok {
+				status = "FAIL"
+			}
+			if status != "PASS" {
+				failed++
+			}
+			fmt.Printf("%-5s %-24s %s\n      %s\n", status, c.Name, c.Text, detail)
+		}
+		if failed > 0 {
+			fmt.Printf("\n%d claim(s) not reproduced\n", failed)
+			os.Exit(1)
+		}
+		fmt.Println("\nall claims reproduced")
+		return
+	}
+
+	if *list {
+		for _, n := range exp.Names() {
+			e, _ := exp.Get(n)
+			fmt.Printf("%-18s %s\n", n, e.Title)
+		}
+		return
+	}
+
+	cfg := exp.Config{Seed: *seed, Workers: *work, Scale: *scale}
+	var names []string
+	switch {
+	case *all:
+		names = exp.Names()
+	case *name != "":
+		names = []string{*name}
+	default:
+		fmt.Fprintln(os.Stderr, "fairsim: need -exp NAME, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, n := range names {
+		start := time.Now()
+		res, err := exp.Run(n, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fairsim: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s(%s elapsed)\n", res.Summary(), time.Since(start).Round(time.Millisecond))
+		if *plot {
+			series := make([]viz.Series, 0, len(res.Series))
+			for _, s := range res.Series {
+				series = append(series, viz.Series{Label: s.Label, X: s.X, Y: s.Y})
+			}
+			opts := viz.Options{Title: res.Title, XLabel: res.XLabel, YLabel: res.YLabel}
+			if err := viz.Plot(os.Stdout, opts, series...); err != nil {
+				fmt.Fprintf(os.Stderr, "fairsim: plot: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *out != "" {
+			if err := writeCSV(*out, n, res); err != nil {
+				fmt.Fprintf(os.Stderr, "fairsim: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir, name string, res *exp.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, name+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return f.Close()
+}

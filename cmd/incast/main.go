@@ -1,0 +1,185 @@
+// Command incast runs configurable n-to-1 incast microbenchmarks on the
+// single-switch topology and reports fairness convergence, queue depth,
+// and per-flow completion times.
+//
+// Usage:
+//
+//	incast -algo hpcc-vaisf -senders 96 -size 1048576 -csv series.csv
+//
+// Algorithms: hpcc, hpcc-1g, hpcc-prob, hpcc-vaisf, swift, swift-1g,
+// swift-prob, swift-vaisf, dcqcn, timely, timely-vaisf.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faircc"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "hpcc", "congestion control variant")
+		senders = flag.Int("senders", 16, "incast degree")
+		size    = flag.Int64("size", 1<<20, "bytes per flow")
+		group   = flag.Int("group", 2, "flows starting together")
+		everyUs = flag.Int("every", 20, "microseconds between start groups")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		csv     = flag.String("csv", "", "write Jain/queue time series to this file")
+	)
+	flag.Parse()
+
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, *seed)
+	star := faircc.NewStar(nw, *senders+1, 100e9, faircc.Microsecond)
+
+	maker, needsRED, err := algoMaker(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incast:", err)
+		os.Exit(2)
+	}
+	if needsRED {
+		for _, p := range star.Switch.Ports() {
+			p.SetRED(faircc.REDConfig{KMinBytes: 100_000, KMaxBytes: 400_000, PMax: 0.2})
+		}
+		nw.CNPInterval = 50 * faircc.Microsecond
+	}
+
+	srcs := make([]int, *senders)
+	for i := range srcs {
+		srcs[i] = star.Hosts[i].NodeID()
+	}
+	dstIdx := *senders
+	specs := faircc.StaggeredIncast(srcs, star.Hosts[dstIdx].NodeID(), *size,
+		*group, faircc.Time(*everyUs)*faircc.Microsecond, 0)
+	var flows []*faircc.Flow
+	for _, spec := range specs {
+		flows = append(flows, nw.AddFlow(spec, maker()))
+	}
+
+	// Sample Jain (goodput) and bottleneck queue.
+	type pt struct{ t, jain, queueKB float64 }
+	var series []pt
+	interval := 10 * faircc.Microsecond
+	var sample func()
+	sample = func() {
+		var rates []float64
+		for _, f := range flows {
+			if f.Active() {
+				rates = append(rates, float64(f.TakeDeliveredDelta()))
+			}
+		}
+		if len(rates) >= 2 {
+			series = append(series, pt{
+				t:       eng.Now().Microseconds(),
+				jain:    faircc.Jain(rates),
+				queueKB: float64(star.HostPorts[dstIdx].QueueBytes()) / 1000,
+			})
+		}
+		eng.After(interval, sample)
+	}
+	eng.At(0, sample)
+
+	done := false
+	for !done {
+		done = true
+		for _, f := range flows {
+			if !f.Finished() {
+				done = false
+				break
+			}
+		}
+		if !done && !engStep(eng) {
+			break
+		}
+	}
+
+	fmt.Printf("%s %d-1 incast, %d B/flow\n\n", *algo, *senders, *size)
+	fmt.Printf("%-6s %-12s %-12s %-10s\n", "flow", "start(us)", "finish(us)", "slowdown")
+	for i, f := range flows {
+		fmt.Printf("%-6d %-12.0f %-12.0f %-10.1f\n", i+1,
+			f.Spec.Start.Microseconds(),
+			(f.Spec.Start + f.FCT()).Microseconds(), f.Slowdown())
+	}
+	maxQ := 0.0
+	for _, p := range series {
+		if p.queueKB > maxQ {
+			maxQ = p.queueKB
+		}
+	}
+	fmt.Printf("\nmax bottleneck queue: %.0f KB\n", maxQ)
+
+	if *csv != "" {
+		f, err := os.Create(*csv)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incast:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(f, "time_us,jain,queue_kb")
+		for _, p := range series {
+			fmt.Fprintf(f, "%g,%g,%g\n", p.t, p.jain, p.queueKB)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "incast:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *csv)
+	}
+}
+
+func engStep(eng *faircc.Engine) bool { return eng.Step() }
+
+func algoMaker(name string) (func() faircc.Algorithm, bool, error) {
+	const minBDP = 42_000.0
+	minBDPDelay := faircc.Time(minBDP * 8 * 1e12 / 100e9)
+	switch name {
+	case "hpcc":
+		return func() faircc.Algorithm { return faircc.NewHPCC() }, false, nil
+	case "hpcc-1g":
+		return func() faircc.Algorithm {
+			c := faircc.HPCCConfig{Eta: 0.95, MaxStage: 5, AIBps: 1e9}
+			return faircc.NewHPCCWith(c)
+		}, false, nil
+	case "hpcc-prob":
+		return func() faircc.Algorithm {
+			c := faircc.HPCCConfig{Eta: 0.95, MaxStage: 5, AIBps: 50e6, Probabilistic: true}
+			return faircc.NewHPCCWith(c)
+		}, false, nil
+	case "hpcc-vaisf":
+		return func() faircc.Algorithm { return faircc.NewHPCCVAISF(minBDP) }, false, nil
+	case "swift":
+		return func() faircc.Algorithm { return faircc.NewSwift(50) }, false, nil
+	case "swift-1g":
+		return func() faircc.Algorithm {
+			c := swiftBase()
+			c.AIBps = 1e9
+			return faircc.NewSwiftWith(c)
+		}, false, nil
+	case "swift-prob":
+		return func() faircc.Algorithm {
+			c := swiftBase()
+			c.Probabilistic = true
+			return faircc.NewSwiftWith(c)
+		}, false, nil
+	case "swift-vaisf":
+		return func() faircc.Algorithm { return faircc.NewSwiftVAISF(minBDPDelay) }, false, nil
+	case "dcqcn":
+		return func() faircc.Algorithm { return faircc.NewDCQCN() }, true, nil
+	case "timely":
+		return func() faircc.Algorithm { return faircc.NewTimely() }, false, nil
+	case "timely-vaisf":
+		return func() faircc.Algorithm { return faircc.NewTimelyVAISF(minBDPDelay) }, false, nil
+	}
+	return nil, false, fmt.Errorf("unknown algorithm %q", name)
+}
+
+func swiftBase() faircc.SwiftConfig {
+	return faircc.SwiftConfig{
+		BaseTarget: 5 * faircc.Microsecond,
+		PerHop:     2 * faircc.Microsecond,
+		Beta:       0.8,
+		MaxMdf:     0.5,
+		AIBps:      50e6,
+	}
+}

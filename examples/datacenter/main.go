@@ -1,0 +1,117 @@
+// Datacenter: a scaled-down version of the paper's Sec. VI datacenter
+// simulation, runnable in seconds.
+//
+// A fat-tree carries Poisson traffic drawn from the Facebook-Hadoop-like
+// flow size distribution at 50% load. The long flows (>1 MB) are the ones
+// whose 99.9% tail FCT the paper's mechanisms halve; small flows stay
+// fast either way.
+//
+// Run:
+//
+//	go run ./examples/datacenter [-hosts 16] [-ms 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"faircc"
+)
+
+func main() {
+	hostsPerToR := flag.Int("hosts", 4, "hosts per ToR switch (2 pods x 2 ToRs)")
+	ms := flag.Int("ms", 2, "traffic duration in milliseconds")
+	flag.Parse()
+
+	ftCfg := faircc.DefaultFatTree().Scaled(2, 2, *hostsPerToR)
+	fmt.Printf("fat-tree: %d hosts, Hadoop-like traffic at 50%% load for %d ms\n\n",
+		ftCfg.NumHosts(), *ms)
+
+	specs := genTraffic(ftCfg.NumHosts(), faircc.Time(*ms)*faircc.Millisecond)
+	fmt.Printf("%d flows generated\n\n", len(specs))
+
+	for _, mode := range []string{"HPCC", "HPCC VAI SF"} {
+		recs := run(mode, ftCfg, specs)
+		small, long := split(recs)
+		fmt.Printf("--- %s ---\n", mode)
+		fmt.Printf("  small flows (<100KB): median slowdown %5.1fx   p99.9 %6.1fx\n",
+			percentile(small, 50), percentile(small, 99.9))
+		fmt.Printf("  long flows  (>1MB):   median slowdown %5.1fx   p99.9 %6.1fx\n",
+			percentile(long, 50), percentile(long, 99.9))
+	}
+}
+
+// genTraffic draws Poisson arrivals from the Hadoop CDF at 50% load.
+func genTraffic(hosts int, duration faircc.Time) []faircc.FlowSpec {
+	cdf := faircc.HadoopCDF()
+	r := rand.New(rand.NewSource(7))
+	lambda := 0.5 * 100e9 * float64(hosts) / (8 * cdf.Mean()) // flows/sec
+	var specs []faircc.FlowSpec
+	t := faircc.Time(0)
+	id := 1
+	for {
+		t += faircc.Time(r.ExpFloat64() / lambda * 1e12)
+		if t >= duration {
+			return specs
+		}
+		src := r.Intn(hosts)
+		dst := src
+		for dst == src {
+			dst = r.Intn(hosts)
+		}
+		specs = append(specs, faircc.FlowSpec{
+			ID: id, Src: src, Dst: dst,
+			Size: int64(math.Max(1, cdf.Sample(r))), Start: t,
+		})
+		id++
+	}
+}
+
+func run(mode string, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec) []faircc.FlowRecord {
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, 1)
+	faircc.NewFatTree(nw, ftCfg)
+	rec := &faircc.FCTRecorder{}
+	rec.Attach(nw)
+	for _, spec := range specs {
+		var a faircc.Algorithm
+		if mode == "HPCC VAI SF" {
+			a = faircc.NewHPCCVAISF(42_000)
+		} else {
+			a = faircc.NewHPCC()
+		}
+		nw.AddFlow(spec, a)
+	}
+	eng.Run()
+	return rec.Records
+}
+
+func split(recs []faircc.FlowRecord) (small, long []float64) {
+	for _, r := range recs {
+		switch {
+		case r.Size < 100_000:
+			small = append(small, r.Slowdown)
+		case r.Size > 1_000_000:
+			long = append(long, r.Slowdown)
+		}
+	}
+	return small, long
+}
+
+func percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

@@ -1,0 +1,55 @@
+// Fluidmodel: the paper's Sec. IV-B analysis (Figure 4), standalone.
+//
+// Two flows start at 100 and 50 Gb/s. Under a once-per-RTT multiplicative
+// decrease both decay exponentially at the same relative rate, so their
+// *difference* shrinks slowly. Under Sampling Frequency the decrease
+// frequency scales with each flow's own rate, so the faster flow sheds
+// bandwidth faster and the pair converges toward fairness sooner. The
+// program integrates both ODE systems, prints the trajectory, and checks
+// the paper's convergence condition 1/r < (C1+C0)/(s*MTU).
+//
+// Run:
+//
+//	go run ./examples/fluidmodel
+package main
+
+import (
+	"fmt"
+
+	"faircc"
+)
+
+func main() {
+	cfg := faircc.DefaultFluid()
+	fmt.Println("Fluid model (paper Sec. IV-B, Fig. 4)")
+	fmt.Printf("r = %.0f ns, MTU = %.0f B, s = %.0f, beta = %.1f, rates %.1f / %.2f bytes/ns\n\n",
+		cfg.RTT, cfg.MTU, cfg.S, cfg.Beta, cfg.C1, cfg.C0)
+
+	if cfg.ConvergesFaster() {
+		fmt.Println("convergence condition 1/r < (C1+C0)/(s*MTU): HOLDS")
+	} else {
+		fmt.Println("convergence condition 1/r < (C1+C0)/(s*MTU): violated")
+	}
+	fmt.Println()
+
+	pts := faircc.IntegrateFluid(cfg, 1000, 3e6)
+	fmt.Printf("%-10s %-22s %-22s %-12s\n",
+		"t (us)", "per-RTT gap R1-R0", "SF gap S1-S0", "difference")
+	for _, p := range pts {
+		if int(p.T)%200_000 != 0 {
+			continue
+		}
+		fmt.Printf("%-10.0f %-22.4f %-22.4f %-12.4f\n",
+			p.T/1000, p.R1-p.R0, p.S1-p.S0, p.Gap)
+	}
+
+	peak, peakT := 0.0, 0.0
+	for _, p := range pts {
+		if p.Gap > peak {
+			peak, peakT = p.Gap, p.T
+		}
+	}
+	fmt.Printf("\nfairness gap peaks at %.3f bytes/ns around t = %.0f us:\n", peak, peakT/1000)
+	fmt.Println("Sampling Frequency converges to fairness faster exactly while it matters,")
+	fmt.Println("then both schemes approach zero difference (the paper's Fig. 4 shape).")
+}

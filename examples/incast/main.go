@@ -1,0 +1,103 @@
+// Incast: the paper's 16-1 staggered incast microbenchmark (Sec. III-D),
+// the workload that exposes slow convergence to fairness.
+//
+// Sixteen hosts send 1 MB each to one receiver through a single switch;
+// two flows start every 20 us, so late starters join a congested link at
+// line rate. Under default HPCC or Swift the flows that start last finish
+// first (they grab bandwidth the incumbents never reclaim); with the
+// paper's VAI + Sampling Frequency all flows finish together.
+//
+// Run:
+//
+//	go run ./examples/incast [-algo hpcc|swift] [-senders 16]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"faircc"
+)
+
+func main() {
+	algo := flag.String("algo", "hpcc", "protocol: hpcc or swift")
+	senders := flag.Int("senders", 16, "incast degree (senders to one receiver)")
+	flag.Parse()
+
+	if *algo != "hpcc" && *algo != "swift" {
+		fmt.Fprintln(os.Stderr, "incast: -algo must be hpcc or swift")
+		os.Exit(2)
+	}
+
+	fmt.Printf("%d-1 staggered incast, 1 MB per flow, 2 flows start every 20us.\n\n", *senders)
+	base := run(*algo, false, *senders)
+	vaisf := run(*algo, true, *senders)
+
+	fmt.Printf("%-8s %-12s %-22s %-22s\n", "flow", "start (us)", "finish default (us)", "finish VAI SF (us)")
+	for i := range base {
+		fmt.Printf("%-8d %-12.0f %-22.0f %-22.0f\n", i+1, base[i].start, base[i].finish, vaisf[i].finish)
+	}
+	fmt.Printf("\nfinish-time spread: default %.0f us, VAI SF %.0f us\n",
+		spread(base), spread(vaisf))
+	fmt.Println("(default: last-started flows finish first; VAI SF: flows finish together)")
+}
+
+type flowResult struct{ start, finish float64 }
+
+func run(algo string, vaisf bool, senders int) []flowResult {
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, 1)
+	star := faircc.NewStar(nw, senders+1, 100e9, faircc.Microsecond)
+
+	// The paper's VAI token threshold: the network's min BDP, rounded
+	// down (Sec. VI-A uses ~50 KB for a 62.5 KB-BDP network).
+	minBDP := 42_000.0
+	minBDPDelay := faircc.Time(minBDP * 8 * 1e12 / 100e9)
+
+	newAlgo := func() faircc.Algorithm {
+		switch {
+		case algo == "hpcc" && vaisf:
+			return faircc.NewHPCCVAISF(minBDP)
+		case algo == "hpcc":
+			return faircc.NewHPCC()
+		case vaisf:
+			return faircc.NewSwiftVAISF(minBDPDelay)
+		default:
+			return faircc.NewSwift(50)
+		}
+	}
+
+	srcs := make([]int, senders)
+	for i := range srcs {
+		srcs[i] = star.Hosts[i].NodeID()
+	}
+	dst := star.Hosts[senders].NodeID()
+	var flows []*faircc.Flow
+	for _, spec := range faircc.StaggeredIncast(srcs, dst, 1<<20, 2, 20*faircc.Microsecond, 0) {
+		flows = append(flows, nw.AddFlow(spec, newAlgo()))
+	}
+	eng.Run()
+
+	results := make([]flowResult, len(flows))
+	for i, f := range flows {
+		results[i] = flowResult{
+			start:  f.Spec.Start.Microseconds(),
+			finish: (f.Spec.Start + f.FCT()).Microseconds(),
+		}
+	}
+	return results
+}
+
+func spread(rs []flowResult) float64 {
+	lo, hi := rs[0].finish, rs[0].finish
+	for _, r := range rs {
+		if r.finish < lo {
+			lo = r.finish
+		}
+		if r.finish > hi {
+			hi = r.finish
+		}
+	}
+	return hi - lo
+}

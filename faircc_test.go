@@ -1,0 +1,148 @@
+package faircc_test
+
+import (
+	"testing"
+
+	"faircc"
+)
+
+// TestFacadeSimulation drives the public API end to end the way the
+// README's quick start does.
+func TestFacadeSimulation(t *testing.T) {
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, 1)
+	star := faircc.NewStar(nw, 5, 100e9, faircc.Microsecond)
+
+	srcs := make([]int, 4)
+	for i := range srcs {
+		srcs[i] = star.Hosts[i].NodeID()
+	}
+	rec := &faircc.FCTRecorder{}
+	rec.Attach(nw)
+	for _, spec := range faircc.StaggeredIncast(srcs, star.Hosts[4].NodeID(),
+		200_000, 2, 20*faircc.Microsecond, 0) {
+		nw.AddFlow(spec, faircc.NewHPCCVAISF(42_000))
+	}
+	eng.Run()
+
+	if len(rec.Records) != 4 {
+		t.Fatalf("records = %d, want 4", len(rec.Records))
+	}
+	for _, r := range rec.Records {
+		if r.Slowdown < 1 {
+			t.Fatalf("slowdown %v below 1", r.Slowdown)
+		}
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeAlgorithms instantiates every protocol constructor against a
+// live flow.
+func TestFacadeAlgorithms(t *testing.T) {
+	algos := map[string]func() faircc.Algorithm{
+		"hpcc":        faircc.NewHPCC,
+		"hpcc-vaisf":  func() faircc.Algorithm { return faircc.NewHPCCVAISF(42_000) },
+		"swift":       func() faircc.Algorithm { return faircc.NewSwift(50) },
+		"swift-vaisf": func() faircc.Algorithm { return faircc.NewSwiftVAISF(4 * faircc.Microsecond) },
+		"dcqcn":       faircc.NewDCQCN,
+	}
+	for name, mk := range algos {
+		t.Run(name, func(t *testing.T) {
+			eng := faircc.NewEngine()
+			nw := faircc.NewNetwork(eng, 1)
+			star := faircc.NewStar(nw, 2, 100e9, faircc.Microsecond)
+			if name == "dcqcn" {
+				for _, p := range star.Switch.Ports() {
+					p.SetRED(faircc.REDConfig{KMinBytes: 100_000, KMaxBytes: 400_000, PMax: 0.2})
+				}
+				nw.CNPInterval = 50 * faircc.Microsecond
+			}
+			f := nw.AddFlow(faircc.FlowSpec{ID: 1, Src: star.Hosts[0].NodeID(),
+				Dst: star.Hosts[1].NodeID(), Size: 300_000}, mk())
+			eng.Run()
+			if !f.Finished() {
+				t.Fatalf("%s flow did not finish", name)
+			}
+		})
+	}
+}
+
+// TestFacadeExperiments exercises the experiment registry through the
+// facade.
+func TestFacadeExperiments(t *testing.T) {
+	names := faircc.ExperimentNames()
+	if len(names) < 20 {
+		t.Fatalf("only %d experiments registered", len(names))
+	}
+	res, err := faircc.RunExperiment("fig4", faircc.DefaultExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("fig4 returned no series")
+	}
+}
+
+// TestFacadeFatTree builds the paper's full 320-host topology through the
+// facade and routes a flow across pods.
+func TestFacadeFatTree(t *testing.T) {
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, 1)
+	ft := faircc.NewFatTree(nw, faircc.DefaultFatTree())
+	f := nw.AddFlow(faircc.FlowSpec{ID: 1, Src: ft.Hosts[0].NodeID(),
+		Dst: ft.Hosts[319].NodeID(), Size: 100_000}, faircc.NewSwift(100))
+	eng.Run()
+	if !f.Finished() || f.Hops() != 5 {
+		t.Fatalf("cross-pod flow: finished=%v hops=%d", f.Finished(), f.Hops())
+	}
+}
+
+func TestFacadeCDFs(t *testing.T) {
+	if faircc.HadoopCDF().Max() != 10_000_000 {
+		t.Error("Hadoop CDF max wrong")
+	}
+	if faircc.WebSearchCDF().FracAbove(1_000_000) < 0.25 {
+		t.Error("WebSearch CDF not long-flow heavy")
+	}
+	if faircc.StorageCDF().Max() > 2_000_000 {
+		t.Error("Storage CDF exceeds 2MB")
+	}
+	if faircc.Jain([]float64{1, 1, 1}) != 1 {
+		t.Error("Jain facade broken")
+	}
+	if !faircc.DefaultFluid().ConvergesFaster() {
+		t.Error("fluid facade broken")
+	}
+}
+
+// TestFacadeTraceAndNewProtocols exercises tracing and the Timely/DCTCP
+// constructors through the facade.
+func TestFacadeTraceAndNewProtocols(t *testing.T) {
+	eng := faircc.NewEngine()
+	nw := faircc.NewNetwork(eng, 1)
+	star := faircc.NewStar(nw, 3, 100e9, faircc.Microsecond)
+	rec := faircc.AttachTrace(nw, faircc.TraceAll)
+	for _, p := range star.Switch.Ports() {
+		p.SetRED(faircc.DCTCPMarkingAt(15_000))
+	}
+	f1 := nw.AddFlow(faircc.FlowSpec{ID: 1, Src: star.Hosts[0].NodeID(),
+		Dst: star.Hosts[2].NodeID(), Size: 100_000}, faircc.NewTimely())
+	f2 := nw.AddFlow(faircc.FlowSpec{ID: 2, Src: star.Hosts[1].NodeID(),
+		Dst: star.Hosts[2].NodeID(), Size: 100_000}, faircc.NewDCTCP())
+	eng.Run()
+	if !f1.Finished() || !f2.Finished() {
+		t.Fatal("flows did not finish")
+	}
+	counts := rec.CountByKind()
+	if counts[faircc.TraceSend] != 200 || counts[faircc.TraceFinish] != 2 {
+		t.Fatalf("trace counts wrong: %v", counts)
+	}
+	if pts := rec.FlowGoodput(1, 10*faircc.Microsecond); len(pts) == 0 {
+		t.Fatal("no goodput timeline")
+	}
+	if faircc.NewTimelyVAISF(4*faircc.Microsecond).Name() != "Timely VAI SF" {
+		t.Fatal("Timely VAI SF constructor broken")
+	}
+}

@@ -1,0 +1,3 @@
+module faircc
+
+go 1.22

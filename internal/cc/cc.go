@@ -1,0 +1,84 @@
+// Package cc defines the interface between the network simulator and
+// sender-side congestion-control algorithms, together with the feedback
+// types (INT telemetry, RTT, ECN echo) those algorithms consume.
+//
+// The package is a deliberate leaf of the import graph: internal/net
+// imports it so data packets can carry telemetry, and the algorithm
+// implementations (hpcc, swift, dcqcn) import it for the driver types,
+// without either side depending on the other.
+package cc
+
+import (
+	"math/rand"
+
+	"faircc/internal/sim"
+)
+
+// Telemetry is one hop's In-band Network Telemetry (INT) record, stamped by
+// a switch when a packet departs an egress port. HPCC consumes all four
+// fields; delay- and ECN-based protocols ignore them.
+type Telemetry struct {
+	QueueBytes int64    // egress queue occupancy at dequeue
+	TxBytes    int64    // cumulative bytes transmitted on the link
+	TS         sim.Time // dequeue timestamp
+	RateBps    float64  // link bandwidth
+}
+
+// Feedback is delivered to an Algorithm once per received acknowledgement.
+type Feedback struct {
+	Now        sim.Time    // current simulated time
+	RTT        sim.Time    // end-to-end RTT measured for the acked packet
+	SentAt     sim.Time    // when the acked data packet left the sender
+	AckedBytes int64       // cumulative payload bytes acknowledged
+	SentBytes  int64       // cumulative payload bytes sent so far (snd_nxt)
+	NewlyAcked int         // payload bytes acknowledged by this ACK
+	ECE        bool        // congestion-experienced echo (ECN/CNP)
+	Hops       []Telemetry // INT stack collected on the forward path; nil if absent
+}
+
+// Control is the sender state an algorithm manipulates: the pacing rate and
+// the window limiting bytes in flight. A sender honors both (a packet is
+// released only when the pacer allows it and in-flight bytes are below the
+// window).
+type Control struct {
+	WindowBytes float64
+	RateBps     float64
+}
+
+// Env gives an algorithm access to its environment: flow constants, a
+// deterministic PRNG, and a scheduler for timer-driven protocols (DCQCN).
+type Env struct {
+	LineRateBps float64
+	BaseRTT     sim.Time // propagation + serialization RTT of the flow's path
+	MTU         int      // payload bytes per packet
+	Hops        int      // switch hops on the forward path
+	Rand        *rand.Rand
+
+	// Now returns the current simulated time.
+	Now func() sim.Time
+	// Schedule runs fn after d. Timer-driven algorithms (DCQCN) use it;
+	// pure ACK-clocked ones need not.
+	Schedule func(d sim.Time, fn func())
+	// SetControl pushes a control change outside of an OnAck return, for
+	// timer-driven rate updates.
+	SetControl func(Control)
+}
+
+// Algorithm is a sender-side congestion-control protocol. Implementations
+// must be deterministic given Env.Rand.
+type Algorithm interface {
+	// Name identifies the algorithm variant (used in experiment labels).
+	Name() string
+	// Init is called once when the flow starts and returns the initial
+	// control. RDMA congestion control starts flows at line rate
+	// (Sec. III-D of the paper).
+	Init(env Env) Control
+	// OnAck processes one acknowledgement and returns the updated control.
+	OnAck(fb Feedback) Control
+}
+
+// BDPBytes returns the bandwidth-delay product of rate bps over rtt, in
+// bytes.
+func BDPBytes(bps float64, rtt sim.Time) float64 {
+	return bps / 8 * rtt.Seconds()
+}

@@ -1,0 +1,290 @@
+// Package hpcc implements HPCC (High Precision Congestion Control,
+// Li et al., SIGCOMM 2019) as a sender-side algorithm for the faircc
+// simulator, plus the variants the paper evaluates: a configurable base
+// additive increase ("HPCC 1Gbps"), probabilistic feedback
+// ("HPCC Probabilistic", Sec. III-D), and the paper's Variable Additive
+// Increase + Sampling Frequency mechanisms ("HPCC VAI SF", Secs. IV-V).
+//
+// HPCC estimates per-link utilization from INT telemetry:
+//
+//	u_i = min(qlen, qlen_prev)/(B_i*T) + txRate_i/B_i
+//
+// takes the maximum across hops, EWMA-filters it into U, and sets the
+// window multiplicatively against a reference window Wc:
+//
+//	U >= eta (or incStage >= maxStage): W = Wc/(U/eta) + W_AI
+//	otherwise (additive probe):         W = Wc + W_AI
+//
+// The reference window Wc updates once per RTT; between updates, per-ACK
+// adjustments recompute W from the unchanged Wc, so repeated signals from
+// the same congestion event are not compounded.
+package hpcc
+
+import (
+	"math"
+
+	"faircc/internal/cc"
+	"faircc/internal/core"
+)
+
+// Config parameterizes HPCC. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	Eta      float64 // target utilization, 0.95 in the paper
+	MaxStage int     // additive-probe stages per MI round, 5 in the paper
+	AIBps    float64 // base additive increase, 50 Mb/s in the paper
+
+	// VAI enables Variable Additive Increase when non-nil.
+	VAI *core.VAIConfig
+	// SFEvery enables Sampling Frequency: multiplicative-decrease
+	// reference updates every SFEvery ACKs instead of once per RTT.
+	// Zero keeps the default once-per-RTT behaviour.
+	SFEvery int
+	// Probabilistic ignores a would-be reference-updating multiplicative
+	// decrease with probability 1 - Wc/maxW (Sec. III-D: feedback is
+	// disregarded when "Current Window < rand() % Max Window").
+	Probabilistic bool
+}
+
+// DefaultConfig returns the paper's "default HPCC" parameters.
+func DefaultConfig() Config {
+	return Config{Eta: 0.95, MaxStage: 5, AIBps: 50e6}
+}
+
+// VAISFConfig returns the paper's "HPCC VAI SF" parameters (Sec. VI-A):
+// tokens minted above a minBDP-bytes queue threshold at 1 token/KB, bank
+// cap 1000, spend cap 100, dampener constant 8, decreases every 30 ACKs.
+func VAISFConfig(minBDPBytes float64) Config {
+	c := DefaultConfig()
+	c.VAI = &core.VAIConfig{
+		TokenThresh:   minBDPBytes,
+		AIDiv:         1000, // one token per KB of queue depth
+		BankCap:       1000,
+		AICap:         100,
+		DampenerConst: 8,
+	}
+	c.SFEvery = 30
+	return c
+}
+
+// HPCC is the per-flow sender state. Create one per flow with New.
+type HPCC struct {
+	cfg  Config
+	env  cc.Env
+	name string
+
+	maxW float64 // line-rate window (B*T)
+	wAI  float64 // base additive increase in bytes (AIBps * T / 8)
+	wc   float64 // reference window
+	w    float64 // current window
+	u    float64 // EWMA utilization estimate
+	inc  int     // incStage
+
+	marker   core.RTTMarker
+	prevHops []cc.Telemetry
+	havePrev bool
+	lastProb int64 // acked bytes at the last accepted probabilistic MD
+
+	// VAI + SF state.
+	vai     *core.VAI
+	sampler core.Sampler
+	maxQlen float64 // max queue depth seen this RTT (measured congestion)
+	sawCong bool    // any U >= eta this RTT (max C >= 1)
+}
+
+// New returns an HPCC instance with the given configuration and a
+// descriptive variant name used in experiment labels.
+func New(cfg Config) *HPCC {
+	h := &HPCC{cfg: cfg}
+	switch {
+	case cfg.VAI != nil && cfg.SFEvery > 0:
+		h.name = "HPCC VAI SF"
+	case cfg.VAI != nil:
+		h.name = "HPCC VAI"
+	case cfg.SFEvery > 0:
+		h.name = "HPCC SF"
+	case cfg.Probabilistic:
+		h.name = "HPCC Probabilistic"
+	case cfg.AIBps >= 1e9:
+		h.name = "HPCC 1Gbps"
+	default:
+		h.name = "HPCC"
+	}
+	return h
+}
+
+// Name implements cc.Algorithm.
+func (h *HPCC) Name() string { return h.name }
+
+// Window returns the current window in bytes (exposed for tests).
+func (h *HPCC) Window() float64 { return h.w }
+
+// Reference returns the reference window Wc in bytes (exposed for tests).
+func (h *HPCC) Reference() float64 { return h.wc }
+
+// Util returns the EWMA utilization estimate U (exposed for tests).
+func (h *HPCC) Util() float64 { return h.u }
+
+// Init implements cc.Algorithm: flows start at line rate with a one-BDP
+// window.
+func (h *HPCC) Init(env cc.Env) cc.Control {
+	h.env = env
+	h.maxW = cc.BDPBytes(env.LineRateBps, env.BaseRTT)
+	h.wAI = cc.BDPBytes(h.cfg.AIBps, env.BaseRTT)
+	h.wc = h.maxW
+	h.w = h.maxW
+	h.u = 1 // assume full utilization until telemetry arrives
+	if h.cfg.VAI != nil {
+		h.vai = core.NewVAI(*h.cfg.VAI)
+	}
+	h.sampler = core.Sampler{Every: h.cfg.SFEvery}
+	h.marker.Reset(0)
+	return h.control()
+}
+
+func (h *HPCC) control() cc.Control {
+	w := math.Max(math.Min(h.w, h.maxW), float64(h.env.MTU))
+	h.w = w
+	return cc.Control{
+		WindowBytes: w,
+		RateBps:     w * 8 / h.env.BaseRTT.Seconds(),
+	}
+}
+
+// measureInflight updates the EWMA utilization U from the ACK's INT stack
+// (MeasureInflight in the HPCC paper) and returns it. It also records the
+// per-RTT congestion bookkeeping VAI needs.
+func (h *HPCC) measureInflight(fb cc.Feedback) float64 {
+	if !h.havePrev {
+		h.prevHops = append(h.prevHops[:0], fb.Hops...)
+		h.havePrev = true
+		return h.u
+	}
+	T := h.env.BaseRTT.Seconds()
+	u := 0.0
+	tau := T
+	n := len(fb.Hops)
+	if len(h.prevHops) < n {
+		n = len(h.prevHops)
+	}
+	for i := 0; i < n; i++ {
+		cur, prev := fb.Hops[i], h.prevHops[i]
+		dt := (cur.TS - prev.TS).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		txRate := float64(cur.TxBytes-prev.TxBytes) * 8 / dt
+		qlen := math.Min(float64(cur.QueueBytes), float64(prev.QueueBytes))
+		ui := qlen*8/(cur.RateBps*T) + txRate/cur.RateBps
+		if ui > u {
+			u = ui
+			tau = dt
+		}
+		if q := float64(cur.QueueBytes); q > h.maxQlen {
+			h.maxQlen = q
+		}
+	}
+	if tau > T {
+		tau = T
+	}
+	h.u = (1-tau/T)*h.u + (tau/T)*u
+	h.prevHops = append(h.prevHops[:0], fb.Hops...)
+	return h.u
+}
+
+// OnAck implements cc.Algorithm (NewAck in the HPCC paper, extended with
+// the paper's VAI, SF and probabilistic-feedback hooks).
+func (h *HPCC) OnAck(fb cc.Feedback) cc.Control {
+	util := h.measureInflight(fb)
+	rttPassed := h.marker.Passed(fb.AckedBytes)
+	sfFired := h.sampler.Tick()
+
+	decrease := util >= h.cfg.Eta || h.inc >= h.cfg.MaxStage
+	if util >= h.cfg.Eta {
+		h.sawCong = true
+	}
+
+	if rttPassed && h.vai != nil {
+		// Algorithm 1 runs on RTT boundaries regardless of branch.
+		h.vai.OnRTTEnd(h.maxQlen, !h.sawCong)
+		h.maxQlen = 0
+		h.sawCong = false
+	}
+
+	wAI := h.wAI
+	if h.vai != nil {
+		wAI *= h.vai.Multiplier()
+	}
+
+	if decrease {
+		// Reference updates once per RTT by default; with SF, every
+		// SFEvery ACKs (the decrease period). A flow whose window holds
+		// fewer than SFEvery packets therefore reacts *less* often than
+		// once per RTT — that asymmetry against flows with more ACKs is
+		// the fairness mechanism (Sec. III-B), not an accident. With
+		// probabilistic
+		// feedback, on any ACK whose feedback is accepted — the
+		// acceptance probability is linear in the window, so flows
+		// holding more bandwidth react more often, which is the fairness
+		// effect Sec. III-D borrows from RED marking.
+		update := rttPassed
+		if h.cfg.SFEvery > 0 {
+			update = sfFired
+		}
+		if h.cfg.Probabilistic {
+			// The first accepted ACK per window of data triggers the
+			// reaction; flows with larger windows see more ACKs and so
+			// react more often, but never twice to the same congestion
+			// event (mirroring DCQCN's CNP rate limit).
+			update = false
+			if fb.AckedBytes-h.lastProb >= int64(h.wc) && h.useFeedback() {
+				update = true
+				h.lastProb = fb.AckedBytes
+			}
+		}
+		w := h.wc/(util/h.cfg.Eta) + wAI
+		if update {
+			if h.vai != nil {
+				wAI = h.wAI * h.vai.Spend()
+				w = h.wc/(util/h.cfg.Eta) + wAI
+			}
+			h.inc = 0
+			h.wc = clamp(w, float64(h.env.MTU), h.maxW)
+		}
+		h.w = w
+	} else {
+		w := h.wc + wAI
+		if rttPassed {
+			if h.vai != nil {
+				wAI = h.wAI * h.vai.Spend()
+				w = h.wc + wAI
+			}
+			h.inc++
+			h.wc = clamp(w, float64(h.env.MTU), h.maxW)
+		}
+		h.w = w
+	}
+	if rttPassed {
+		h.marker.Reset(fb.SentBytes)
+	}
+	return h.control()
+}
+
+// useFeedback implements the probabilistic-feedback rule of Sec. III-D:
+// the reaction is used only when Current Window >= rand() % Max Window,
+// a linear-in-window acceptance probability. "Current Window" is the
+// per-RTT reference window, not the per-ACK window.
+func (h *HPCC) useFeedback() bool {
+	draw := h.env.Rand.Float64() * h.maxW
+	return h.wc >= draw
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,375 @@
+// Package swift implements Swift (Kumar et al., SIGCOMM 2020), the
+// delay-based datacenter congestion-control protocol, as configured by the
+// paper (Sec. III-D): beta = 0.8, max_mdf = 0.5, additive increase
+// 50 Mb/s, flow-based scaling (FBS) and topology-based scaling of the
+// target delay, and — unlike TCP-like Swift deployments — flows start at
+// line rate to match RDMA congestion control.
+//
+// The multiplicative decrease factor is the paper's Eq. (1):
+//
+//	mdf = max(1 - beta*(Delay - Target)/Delay, max_mdf)
+//
+// applied at most once per RTT by default. The paper's variants are all
+// supported: a 1 Gb/s AI, probabilistic feedback, and VAI + Sampling
+// Frequency, the latter adding HPCC-style reference-window semantics and
+// an always-applied additive increase (Sec. V-B).
+package swift
+
+import (
+	"math"
+
+	"faircc/internal/cc"
+	"faircc/internal/core"
+	"faircc/internal/sim"
+)
+
+// FBSConfig parameterizes flow-based scaling of the target delay:
+// target += clamp(alpha/sqrt(cwnd_pkts) + beta_fs, 0, Range) where alpha
+// and beta_fs derive from the min/max scaling windows as in Kumar et al.
+type FBSConfig struct {
+	Range       sim.Time // fs_range: maximum extra target delay
+	MinCwndPkts float64  // below this window the full Range applies (0.1)
+	MaxCwndPkts float64  // above this window no scaling applies (100, or 50 on the small topology)
+}
+
+// Config parameterizes Swift. Start from DefaultConfig.
+type Config struct {
+	BaseTarget sim.Time // base target delay, 5us in the paper
+	PerHop     sim.Time // topology-based scaling, 2us per hop
+	Beta       float64  // 0.8
+	MaxMdf     float64  // 0.5 (the largest decrease is a halving)
+	AIBps      float64  // base additive increase, 50 Mb/s
+
+	// FBS enables flow-based scaling when non-nil. The paper's VAI SF
+	// variant runs without FBS (Sec. VI-B).
+	FBS *FBSConfig
+	// VAI enables Variable Additive Increase when non-nil.
+	VAI *core.VAIConfig
+	// SFEvery enables Sampling Frequency (decreases every SFEvery ACKs)
+	// and with it the HPCC-style reference window and always-on AI of
+	// Sec. V-B. Zero keeps classic once-per-RTT Swift.
+	SFEvery int
+	// Probabilistic ignores a would-be reference-updating decrease with
+	// probability 1 - cwnd/maxCwnd (Sec. III-D).
+	Probabilistic bool
+
+	// HAIAfter enables Timely-style hyper additive increase, the
+	// extension the paper suggests for Swift's slow bandwidth recovery
+	// ("Swift may benefit from a hyper additive increase setting like in
+	// Timely", Sec. VI-B): after HAIAfter consecutive congestion-free
+	// RTTs the additive increase is multiplied by HAIMult until
+	// congestion reappears. Zero disables it.
+	HAIAfter int
+	HAIMult  float64
+}
+
+// DefaultConfig returns the paper's Swift parameters for the given hop
+// count, with FBS enabled at a max scaling window of maxScalePkts
+// (100 in Kumar et al.; the paper lowers it to 50 on the single-switch
+// topology because windows are smaller there).
+func DefaultConfig(maxScalePkts float64) Config {
+	return Config{
+		BaseTarget: 5 * sim.Microsecond,
+		PerHop:     2 * sim.Microsecond,
+		Beta:       0.8,
+		MaxMdf:     0.5,
+		AIBps:      50e6,
+		FBS: &FBSConfig{
+			Range:       4 * sim.Microsecond,
+			MinCwndPkts: 0.1,
+			MaxCwndPkts: maxScalePkts,
+		},
+	}
+}
+
+// VAISFConfig returns the paper's "Swift VAI SF" parameters (Sec. VI-A):
+// no FBS, token threshold of target delay plus the min-BDP queueing delay
+// (4us at 100 Gb/s for 50 KB), one token per 30 ns of delay, bank cap
+// 1000, spend cap 100, dampener constant 8, decreases every 30 ACKs.
+// The threshold depends on the flow's hop count, so it is finalized in
+// Init; pass the extra min-BDP delay here.
+func VAISFConfig(minBDPDelay sim.Time) Config {
+	c := DefaultConfig(0)
+	c.FBS = nil
+	c.VAI = &core.VAIConfig{
+		TokenThresh:   float64(minBDPDelay), // completed with target delay in Init
+		AIDiv:         float64(30 * sim.Nanosecond),
+		BankCap:       1000,
+		AICap:         100,
+		DampenerConst: 8,
+	}
+	c.SFEvery = 30
+	return c
+}
+
+// Swift is the per-flow sender state. Create one per flow with New.
+type Swift struct {
+	cfg  Config
+	env  cc.Env
+	name string
+
+	maxCwnd float64 // line-rate window, packets
+	minCwnd float64
+	aiPkts  float64 // base additive increase, packets per RTT
+	cwnd    float64 // packets (classic mode: the live window)
+	ref     float64 // reference window, packets (SF mode)
+
+	lastDecrease sim.Time
+	marker       core.RTTMarker
+
+	vai     *core.VAI
+	sampler core.Sampler
+	// per-RTT congestion bookkeeping for VAI and hyper-AI.
+	maxDelay  sim.Time
+	sawCong   bool
+	cleanRTTs int // consecutive RTTs with no delay above target
+
+	// FBS precomputed coefficients.
+	fsAlpha float64
+	fsBeta  float64
+}
+
+// New returns a Swift instance for the given configuration.
+func New(cfg Config) *Swift {
+	s := &Swift{cfg: cfg}
+	switch {
+	case cfg.VAI != nil && cfg.SFEvery > 0:
+		s.name = "Swift VAI SF"
+	case cfg.VAI != nil:
+		s.name = "Swift VAI"
+	case cfg.SFEvery > 0:
+		s.name = "Swift SF"
+	case cfg.Probabilistic:
+		s.name = "Swift Probabilistic"
+	case cfg.AIBps >= 1e9:
+		s.name = "Swift 1Gbps"
+	default:
+		s.name = "Swift"
+	}
+	return s
+}
+
+// Name implements cc.Algorithm.
+func (s *Swift) Name() string { return s.name }
+
+// Cwnd returns the current congestion window in packets (for tests).
+func (s *Swift) Cwnd() float64 { return s.cwnd }
+
+// Init implements cc.Algorithm: flows start at line rate.
+func (s *Swift) Init(env cc.Env) cc.Control {
+	s.env = env
+	s.maxCwnd = cc.BDPBytes(env.LineRateBps, env.BaseRTT) / float64(env.MTU)
+	s.minCwnd = 0.01
+	s.aiPkts = cc.BDPBytes(s.cfg.AIBps, env.BaseRTT) / float64(env.MTU)
+	s.cwnd = s.maxCwnd
+	s.ref = s.maxCwnd
+	s.lastDecrease = -env.BaseRTT
+	if s.cfg.VAI != nil {
+		v := *s.cfg.VAI
+		// Token_Thresh = target delay + min-BDP delay (Sec. V-A). The
+		// config carries the min-BDP part; add this flow's target.
+		v.TokenThresh += float64(s.targetDelay(s.maxCwnd))
+		s.vai = core.NewVAI(v)
+	}
+	s.sampler = core.Sampler{Every: s.cfg.SFEvery}
+	s.marker.Reset(0)
+	return s.control()
+}
+
+// targetDelay computes the flow's target delay with topology-based scaling
+// and, when enabled, flow-based scaling for the given window.
+func (s *Swift) targetDelay(cwndPkts float64) sim.Time {
+	t := s.cfg.BaseTarget + sim.Time(s.env.Hops)*s.cfg.PerHop
+	if fs := s.cfg.FBS; fs != nil {
+		if s.fsAlpha == 0 {
+			den := 1/math.Sqrt(fs.MinCwndPkts) - 1/math.Sqrt(fs.MaxCwndPkts)
+			s.fsAlpha = float64(fs.Range) / den
+			s.fsBeta = -s.fsAlpha / math.Sqrt(fs.MaxCwndPkts)
+		}
+		extra := s.fsAlpha/math.Sqrt(cwndPkts) + s.fsBeta
+		if extra < 0 {
+			extra = 0
+		}
+		if extra > float64(fs.Range) {
+			extra = float64(fs.Range)
+		}
+		t += sim.Time(extra)
+	}
+	return t
+}
+
+// Target exposes the current target delay for the live window (for tests
+// and metrics).
+func (s *Swift) Target() sim.Time { return s.targetDelay(s.cwnd) }
+
+func (s *Swift) control() cc.Control {
+	s.cwnd = clamp(s.cwnd, s.minCwnd, s.maxCwnd)
+	w := s.cwnd * float64(s.env.MTU)
+	rate := s.env.LineRateBps
+	if s.cwnd < 1 {
+		// Sub-packet windows are enforced by pacing, as in Swift.
+		rate = w * 8 / s.env.BaseRTT.Seconds()
+	}
+	return cc.Control{WindowBytes: math.Max(w, 1), RateBps: rate}
+}
+
+// mdf computes Eq. (1) for the given delay and target.
+func (s *Swift) mdf(delay, target sim.Time) float64 {
+	if delay <= target || delay <= 0 {
+		return 1
+	}
+	m := 1 - s.cfg.Beta*float64(delay-target)/float64(delay)
+	return math.Max(m, s.cfg.MaxMdf)
+}
+
+// OnAck implements cc.Algorithm.
+func (s *Swift) OnAck(fb cc.Feedback) cc.Control {
+	if s.cfg.SFEvery > 0 {
+		return s.onAckSF(fb)
+	}
+	return s.onAckClassic(fb)
+}
+
+// onAckClassic is stock Swift: per-ACK additive increase below target,
+// at most one multiplicative decrease per RTT above it.
+func (s *Swift) onAckClassic(fb cc.Feedback) cc.Control {
+	delay := fb.RTT
+	target := s.targetDelay(s.cwnd)
+	rttPassed := s.marker.Passed(fb.AckedBytes)
+	s.noteCongestion(delay, target, rttPassed)
+
+	ai := s.aiPkts * s.hyperAI()
+	if s.vai != nil {
+		ai *= s.vai.Multiplier()
+	}
+
+	if delay < target {
+		ackedPkts := float64(fb.NewlyAcked) / float64(s.env.MTU)
+		if s.cwnd >= 1 {
+			s.cwnd += ai * ackedPkts / s.cwnd
+		} else {
+			s.cwnd += ai * ackedPkts
+		}
+	} else {
+		// At most one decrease per RTT by default; with probabilistic
+		// feedback any congested ACK may trigger a decrease, accepted
+		// with probability linear in the window (Sec. III-D).
+		apply := fb.Now-s.lastDecrease >= fb.RTT
+		if s.cfg.Probabilistic {
+			apply = s.useFeedback()
+		}
+		if apply {
+			s.cwnd *= s.mdf(delay, target)
+			s.lastDecrease = fb.Now
+		}
+	}
+	if rttPassed {
+		if s.vai != nil {
+			s.vai.Spend()
+		}
+		s.marker.Reset(fb.SentBytes)
+	}
+	return s.control()
+}
+
+// onAckSF is Swift with the Sec. V-B changes: an HPCC-style reference
+// window whose decreases apply every SFEvery ACKs and whose increases
+// apply once per RTT; per-ACK adjustments always derive from the
+// reference; and the additive increase is applied on every update
+// regardless of congestion (so VAI tokens are always spent).
+func (s *Swift) onAckSF(fb cc.Feedback) cc.Control {
+	delay := fb.RTT
+	target := s.targetDelay(s.ref)
+	rttPassed := s.marker.Passed(fb.AckedBytes)
+	sfFired := s.sampler.Tick()
+	s.noteCongestion(delay, target, rttPassed)
+
+	ai := s.aiPkts * s.hyperAI()
+	if s.vai != nil {
+		ai *= s.vai.Multiplier()
+	}
+	m := s.mdf(delay, target)
+	w := s.ref*m + ai // per-ACK window from the unchanged reference
+
+	decreasing := m < 1
+	update := rttPassed
+	if decreasing {
+		// Decreases fire every SFEvery ACKs: flows holding more
+		// bandwidth see more ACKs and shed it faster, while flows whose
+		// windows hold fewer than SFEvery packets react less often than
+		// once per RTT — the deliberate asymmetry of Sec. III-B. During
+		// a mass join (e.g. 96-1 incast) this lets the bottleneck queue
+		// transiently exceed what stock Swift would allow, which the
+		// per-ACK window (ref*mdf, never above half the reference in
+		// deep congestion) bounds.
+		update = sfFired
+		if update && s.cfg.Probabilistic && !s.useFeedback() {
+			update = false
+		}
+	}
+	if update {
+		if s.vai != nil {
+			ai = s.aiPkts * s.vai.Spend()
+			w = s.ref*m + ai
+		}
+		s.ref = clamp(w, s.minCwnd, s.maxCwnd)
+	}
+	if rttPassed {
+		s.marker.Reset(fb.SentBytes)
+	}
+	s.cwnd = w
+	return s.control()
+}
+
+// noteCongestion maintains the per-RTT congestion bookkeeping Algorithm 1
+// and hyper-AI consume: the maximum observed delay and whether any packet
+// exceeded the target during the RTT.
+func (s *Swift) noteCongestion(delay, target sim.Time, rttPassed bool) {
+	if delay > s.maxDelay {
+		s.maxDelay = delay
+	}
+	if delay > target {
+		s.sawCong = true
+	}
+	if rttPassed {
+		if s.vai != nil {
+			s.vai.OnRTTEnd(float64(s.maxDelay), !s.sawCong)
+		}
+		if s.sawCong {
+			s.cleanRTTs = 0
+		} else {
+			s.cleanRTTs++
+		}
+		s.maxDelay = 0
+		s.sawCong = false
+	}
+}
+
+// hyperAI returns the hyper-AI multiplier for the current run of
+// congestion-free RTTs.
+func (s *Swift) hyperAI() float64 {
+	if s.cfg.HAIAfter > 0 && s.cleanRTTs >= s.cfg.HAIAfter {
+		return s.cfg.HAIMult
+	}
+	return 1
+}
+
+// useFeedback implements the probabilistic-feedback acceptance rule with
+// the per-RTT window as "Current Window".
+func (s *Swift) useFeedback() bool {
+	ref := s.cwnd
+	if s.cfg.SFEvery > 0 {
+		ref = s.ref
+	}
+	return ref >= s.env.Rand.Float64()*s.maxCwnd
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,158 @@
+// Package exp contains the experiment registry: one named, runnable
+// experiment per figure of the paper (Figs. 1-6 and 8-13; Fig. 7 is the
+// topology diagram, realized by internal/topo), plus ablations of the
+// mechanisms' parameters. Each experiment builds its simulations, runs the
+// protocol variants in parallel, and returns labeled data series that
+// regenerate the figure.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"faircc/internal/sim"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	// Seed drives all randomness (traffic generation, probabilistic
+	// feedback, RED). Two runs with equal Seed and scale are identical.
+	Seed int64
+	// Workers bounds the parallelism across protocol variants and sweeps
+	// (0 = GOMAXPROCS). It never changes results.
+	Workers int
+	// Scale picks the experiment size: "small" for tests and benches,
+	// "medium" for the recorded results in EXPERIMENTS.md, "full" for the
+	// paper-scale setup (320 hosts, 50 ms datacenter runs).
+	Scale string
+}
+
+// DefaultConfig returns a medium-scale configuration with seed 1.
+func DefaultConfig() Config { return Config{Seed: 1, Scale: "medium"} }
+
+// Series is one curve: paired X/Y samples with a legend label.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Result is an experiment's output: the figure's curves plus notes about
+// scale and derived headline numbers.
+type Result struct {
+	Name   string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteCSV emits all series as label,x,y rows with a header.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "series,%s,%s\n", csvEscape(r.XLabel), csvEscape(r.YLabel)); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Label), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary renders the notes and per-series sample counts for terminal
+// output.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", r.Name, r.Title)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, "  series %-24s %d points\n", s.Label, len(s.X))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Experiment is a named, runnable reproduction of one figure.
+type Experiment struct {
+	Name  string
+	Title string
+	Run   func(Config) (*Result, error)
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]*Experiment{}
+)
+
+// register adds an experiment at init time; duplicate names are
+// programming errors.
+func register(e *Experiment) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := registry[e.Name]; dup {
+		panic("exp: duplicate experiment " + e.Name)
+	}
+	registry[e.Name] = e
+}
+
+// Get looks up an experiment by name.
+func Get(name string) (*Experiment, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	e, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("exp: unknown experiment %q (see Names())", name)
+	}
+	return e, nil
+}
+
+// Names returns all registered experiment names, sorted.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run looks up and runs an experiment.
+func Run(name string, cfg Config) (*Result, error) {
+	e, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(cfg)
+}
+
+// horizon bounds sampler scheduling; simulations stop as soon as all flows
+// finish, so a generous horizon costs nothing.
+const horizon = 200 * sim.Millisecond

@@ -1,0 +1,352 @@
+package exp
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every figure with data series must be registered (Fig. 7 is the
+	// topology diagram).
+	want := []string{
+		"fig1a", "fig1b", "fig1c", "fig1d", "fig2", "fig3", "fig4",
+		"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig6c", "fig6d",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"ablate-aicap", "ablate-sf", "ablate-dampener", "ablate-newflow",
+		"incast-dcqcn",
+	}
+	names := Names()
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("experiment %q not registered", w)
+		}
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("Get should fail for unknown experiments")
+	}
+}
+
+func TestFig4(t *testing.T) {
+	res, err := Run("fig4", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 || len(res.Series[0].X) < 100 {
+		t.Fatalf("fig4 series malformed: %d series", len(res.Series))
+	}
+	// The gap curve starts at zero, rises, and ends low.
+	y := res.Series[0].Y
+	if y[0] != 0 {
+		t.Fatalf("gap at t=0 is %v", y[0])
+	}
+	peak := 0.0
+	for _, v := range y {
+		if v > peak {
+			peak = v
+		}
+	}
+	if peak < 1 {
+		t.Fatalf("gap peak %v too small", peak)
+	}
+	if y[len(y)-1] > peak/4 {
+		t.Fatalf("gap did not diminish: peak %v, end %v", peak, y[len(y)-1])
+	}
+}
+
+func TestFig1aConvergenceOrdering(t *testing.T) {
+	res, err := Run("fig1a", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 3 {
+		t.Fatalf("series = %d, want 3 baselines", len(res.Series))
+	}
+	conv := convergenceFromNotes(t, res)
+	// The paper's Fig. 1a: default HPCC takes several hundred us; the
+	// high-AI variant converges much faster.
+	if conv["HPCC"] < 0 {
+		t.Fatal("default HPCC never converged")
+	}
+	if conv["HPCC 1Gbps"] < 0 || conv["HPCC 1Gbps"] >= conv["HPCC"] {
+		t.Fatalf("HPCC 1Gbps (%v us) should converge before default (%v us)",
+			conv["HPCC 1Gbps"], conv["HPCC"])
+	}
+}
+
+func TestFig5aVAISFConvergesFaster(t *testing.T) {
+	res, err := Run("fig5a", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := convergenceFromNotes(t, res)
+	// The paper's headline incast claim: VAI SF converges to fairness
+	// much faster than default HPCC (about as fast as the high-AI
+	// variant).
+	if conv["HPCC VAI SF"] < 0 || conv["HPCC"] < 0 {
+		t.Fatalf("missing convergence: %v", conv)
+	}
+	if conv["HPCC VAI SF"] >= conv["HPCC"]/2 {
+		t.Fatalf("HPCC VAI SF converged at %v us, default at %v us; want at least 2x faster",
+			conv["HPCC VAI SF"], conv["HPCC"])
+	}
+}
+
+func TestFig6aSwiftVAISFConvergesFaster(t *testing.T) {
+	res, err := Run("fig6a", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conv := convergenceFromNotes(t, res)
+	if conv["Swift VAI SF"] < 0 || conv["Swift"] < 0 {
+		t.Fatalf("missing convergence: %v", conv)
+	}
+	if conv["Swift VAI SF"] >= conv["Swift"] {
+		t.Fatalf("Swift VAI SF converged at %v us, default at %v us; want faster",
+			conv["Swift VAI SF"], conv["Swift"])
+	}
+}
+
+func TestFig8StartFinishShape(t *testing.T) {
+	res, err := Run("fig8", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]Series{}
+	for _, s := range res.Series {
+		byLabel[s.Label] = s
+	}
+	def, vai := byLabel["HPCC"], byLabel["HPCC VAI SF"]
+	if len(def.Y) != 16 || len(vai.Y) != 16 {
+		t.Fatalf("want 16 flows per series, got %d and %d", len(def.Y), len(vai.Y))
+	}
+	// Default HPCC: flows that begin last finish first (Sec. III-E).
+	if def.Y[len(def.Y)-1] >= def.Y[0] {
+		t.Fatalf("default HPCC: last-started (%.0f us) should finish before first-started (%.0f us)",
+			def.Y[len(def.Y)-1], def.Y[0])
+	}
+	// VAI SF: finish times are much closer together.
+	if spread(vai.Y) >= spread(def.Y)/2 {
+		t.Fatalf("VAI SF finish spread %.0f us not well below default %.0f us",
+			spread(vai.Y), spread(def.Y))
+	}
+}
+
+func TestFig10SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("datacenter run in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = "small"
+	res, err := Run("fig10", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4 protocols", len(res.Series))
+	}
+	imp := improvementsFromNotes(res)
+	// The paper's headline: VAI SF halves the 99.9% tail FCT of long
+	// flows. At test scale we require a clear improvement (> 1.2x) for
+	// both protocols.
+	for _, proto := range []string{"HPCC", "Swift"} {
+		v, ok := imp[proto]
+		if !ok {
+			t.Fatalf("no improvement note for %s: %v", proto, res.Notes)
+		}
+		if v <= 1.2 {
+			t.Errorf("%s long-flow tail improvement = %.2fx, want > 1.2x", proto, v)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := &Result{Name: "x", XLabel: "time, (us)", YLabel: "y"}
+	s := Series{Label: "a"}
+	s.Add(1, 2)
+	s.Add(3, 4)
+	res.Series = append(res.Series, s)
+	var b strings.Builder
+	if err := res.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "series,\"time, (us)\",y\na,1,2\na,3,4\n"
+	if got != want {
+		t.Fatalf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestSmoothedReach(t *testing.T) {
+	var s Series
+	for i, y := range []float64{0, 0.5, 1.0, 1.0, 0.2, 1.0} {
+		s.Add(float64(i), y)
+	}
+	// Window 2 moving averages: 0, .25, .75, 1.0, .6, .6 -> first >= 0.9
+	// at x=3.
+	if got := smoothedReach(s, 2, 0.9); got != 3 {
+		t.Fatalf("smoothedReach = %v, want 3", got)
+	}
+	if got := smoothedReach(s, 2, 2.0); got != -1 {
+		t.Fatalf("unreachable threshold = %v, want -1", got)
+	}
+	if got := smoothedReach(Series{}, 3, 0.5); got != -1 {
+		t.Fatalf("empty series = %v, want -1", got)
+	}
+}
+
+func TestDCScaleValidation(t *testing.T) {
+	_, _, err := dcScale(Config{Scale: "gigantic"})
+	if err == nil {
+		t.Fatal("unknown scale must error")
+	}
+	for _, s := range []string{"small", "medium", "full", ""} {
+		if _, _, err := dcScale(Config{Scale: s}); err != nil {
+			t.Fatalf("scale %q rejected: %v", s, err)
+		}
+	}
+}
+
+func TestIncastDeterminism(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func() string {
+		res, err := Run("fig2", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := res.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if run() != run() {
+		t.Fatal("fig2 not deterministic for a fixed seed")
+	}
+}
+
+// leadingFloat parses the float prefix of s ("-1 us" -> -1).
+func leadingFloat(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	end := 0
+	for end < len(s) && (s[end] == '-' || s[end] == '.' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	return strconv.ParseFloat(s[:end], 64)
+}
+
+// convergenceFromNotes parses "LABEL: smoothed Jain reaches 0.9 at N us".
+func convergenceFromNotes(t *testing.T, res *Result) map[string]float64 {
+	t.Helper()
+	const marker = ": smoothed Jain reaches 0.9 at "
+	out := map[string]float64{}
+	for _, n := range res.Notes {
+		idx := strings.Index(n, marker)
+		if idx < 0 {
+			continue
+		}
+		v, err := leadingFloat(n[idx+len(marker):])
+		if err != nil {
+			t.Fatalf("bad note %q: %v", n, err)
+		}
+		out[n[:idx]] = v
+	}
+	return out
+}
+
+// improvementsFromNotes parses "PROTO long-flow tail improvement: N.NNx".
+func improvementsFromNotes(res *Result) map[string]float64 {
+	const marker = " long-flow tail improvement: "
+	out := map[string]float64{}
+	for _, n := range res.Notes {
+		idx := strings.Index(n, marker)
+		if idx < 0 {
+			continue
+		}
+		if v, err := leadingFloat(n[idx+len(marker):]); err == nil {
+			out[n[:idx]] = v
+		}
+	}
+	return out
+}
+
+// spread is max - min.
+func spread(ys []float64) float64 {
+	lo, hi := ys[0], ys[0]
+	for _, y := range ys {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	return hi - lo
+}
+
+func TestFig9SwiftStartFinishShape(t *testing.T) {
+	res, err := Run("fig9", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]Series{}
+	for _, s := range res.Series {
+		byLabel[s.Label] = s
+	}
+	def, vai := byLabel["Swift"], byLabel["Swift VAI SF"]
+	if def.Y[len(def.Y)-1] >= def.Y[0] {
+		t.Fatalf("default Swift: last-started (%.0f us) should finish before first-started (%.0f us)",
+			def.Y[len(def.Y)-1], def.Y[0])
+	}
+	if spread(vai.Y) >= spread(def.Y)/2 {
+		t.Fatalf("Swift VAI SF spread %.0f us not well below default %.0f us",
+			spread(vai.Y), spread(def.Y))
+	}
+}
+
+func TestFig2HighAIEqualizesFinish(t *testing.T) {
+	res, err := Run("fig2", DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		if s.Label != "HPCC 1Gbps" {
+			continue
+		}
+		// The high-AI variant's 16 flows finish within a tight band.
+		if spread(s.Y) > 100 {
+			t.Fatalf("HPCC 1Gbps finish spread = %.0f us, want < 100", spread(s.Y))
+		}
+		return
+	}
+	t.Fatal("HPCC 1Gbps series missing")
+}
+
+func TestRobustnessSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = "small"
+	res, err := Run("robustness", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d, want HPCC and Swift", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.X) != 5 {
+			t.Fatalf("%s has %d seeds, want 5", s.Label, len(s.X))
+		}
+		for _, v := range s.Y {
+			if v <= 0 {
+				t.Fatalf("%s non-positive improvement %v", s.Label, v)
+			}
+		}
+	}
+}

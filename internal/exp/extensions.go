@@ -1,0 +1,120 @@
+package exp
+
+import (
+	"faircc/internal/cc/dctcp"
+	"faircc/internal/metrics"
+	"faircc/internal/net"
+	"faircc/internal/par"
+	"faircc/internal/topo"
+)
+
+// Extension experiments beyond the paper's figures: the TIMELY transfer
+// of VAI+SF (the paper claims the mechanisms apply to "a multitude" of
+// sender-side protocols), the DCTCP baseline, and the hyper-AI Swift
+// extension the paper suggests for its Hadoop median-slowdown artifact.
+
+func init() {
+	register(&Experiment{
+		Name: "incast-timely",
+		Title: "16-1 incast under TIMELY with and without VAI SF " +
+			"(mechanism generality beyond HPCC/Swift)",
+		Run: func(cfg Config) (*Result, error) {
+			p := starParams(starMinBDP(16), hostRate)
+			outs, err := runIncastSet(cfg, timelyVariants(p), 16)
+			if err != nil {
+				return nil, err
+			}
+			res := &Result{Name: "incast-timely", Title: "TIMELY 16-1 incast",
+				XLabel: "time (us)", YLabel: "Jain fairness index"}
+			for _, o := range outs {
+				res.Series = append(res.Series, o.jain)
+				res.Notef("%s: smoothed Jain reaches 0.9 at %.0f us (-1 = never); max queue %.0f KB",
+					o.label, o.convergeUs, o.maxQueueKB)
+			}
+			return res, nil
+		},
+	})
+
+	register(&Experiment{
+		Name:  "incast-dctcp",
+		Title: "16-1 incast under DCTCP (congestion-extent-scaled decreases, Sec. III-A)",
+		Run: func(cfg Config) (*Result, error) {
+			setup := func(nw *net.Network, st *topo.Star) {
+				k := dctcp.RecommendedK(hostRate, 5*1000*1000) // ~5us RTT in ps
+				for _, p := range st.Switch.Ports() {
+					p.SetRED(dctcp.MarkingAt(k))
+				}
+			}
+			out := runIncast(cfg, dctcpVariant(), 16, setup)
+			if out.err != nil {
+				return nil, out.err
+			}
+			if !out.allFinished {
+				return nil, errNotFinished("DCTCP")
+			}
+			res := &Result{Name: "incast-dctcp", Title: "DCTCP 16-1 incast",
+				XLabel: "time (us)", YLabel: "Jain fairness index"}
+			res.Series = append(res.Series, out.jain)
+			res.Notef("DCTCP: smoothed Jain reaches 0.9 at %.0f us; max queue %.0f KB",
+				out.convergeUs, out.maxQueueKB)
+			return res, nil
+		},
+	})
+
+	register(&Experiment{
+		Name: "ablate-swift-hai",
+		Title: "Swift hyper additive increase (Sec. VI-B suggestion): " +
+			"median FCT on Hadoop traffic, small fat-tree",
+		Run: runSwiftHAI,
+	})
+}
+
+type errNotFinished string
+
+func (e errNotFinished) Error() string { return string(e) + ": flows did not finish" }
+
+// runSwiftHAI compares default Swift against Swift with hyper-AI on the
+// small-scale Hadoop datacenter workload, reporting median slowdowns by
+// size class. The paper attributes Swift's poor Hadoop median to its
+// single, constant additive increase recovering bandwidth slowly.
+func runSwiftHAI(cfg Config) (*Result, error) {
+	small := cfg
+	small.Scale = "small"
+	ftCfg, duration, err := dcScale(small)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := dcTraffic(small, ftCfg, duration, "hadoop")
+	if err != nil {
+		return nil, err
+	}
+	p := dcParams(dcMinBDP(ftCfg), ftCfg.HostBps)
+	vs := []variant{
+		{"Swift", swiftBaselines(p)[0].make},
+		swiftHAIVariant(p),
+	}
+	type out struct {
+		records []metrics.FlowRecord
+		err     error
+	}
+	outs := par.Map(len(vs), cfg.Workers, func(i int) out {
+		recs, err := runDC(small, vs[i], ftCfg, specs)
+		return out{recs, err}
+	})
+	res := &Result{Name: "ablate-swift-hai", Title: "Swift hyper-AI ablation",
+		XLabel: "flow size (bytes)", YLabel: "median FCT slowdown"}
+	for i, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+		s := Series{Label: vs[i].label}
+		for _, b := range metrics.BucketBySize(o.records, 50, 50) {
+			s.Add(float64(b.MaxSize), b.Slowdown)
+		}
+		res.Series = append(res.Series, s)
+		if sd, err := metrics.SlowdownAbove(o.records, 100_000, 50); err == nil {
+			res.Notef("%s: median slowdown of >100KB flows = %.2fx", vs[i].label, sd)
+		}
+	}
+	return res, nil
+}

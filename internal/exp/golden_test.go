@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden regression values for the seed-1 16-1 incast. The simulator is
+// fully deterministic, so these are exact; any diff means behaviour
+// changed. Update them deliberately (with a re-derivation of
+// EXPERIMENTS.md) when a change is intentional.
+func TestGoldenIncastSeed1(t *testing.T) {
+	want := []struct {
+		label      string
+		convergeUs float64
+		maxQueueKB float64
+		lastFinish float64
+	}{
+		{"HPCC", 885.3504, 105.848, 1496.449679},
+		{"HPCC VAI SF", 228.0448, 148.816, 1466.442077},
+		{"Swift", 831.6928, 237.896, 1426.39424},
+		{"Swift VAI SF", 254.8736, 216.936, 1424.3008},
+	}
+	p := starParams(starMinBDP(16), hostRate)
+	variants := []variant{
+		hpccBaselines()[0], hpccVAISF(p),
+		swiftBaselines(p)[0], swiftVAISF(p),
+	}
+	for i, v := range variants {
+		out := runIncast(Config{Seed: 1}, v, 16, nil)
+		if out.err != nil {
+			t.Fatalf("%s: %v", v.label, out.err)
+		}
+		last := 0.0
+		for _, y := range out.startFinish.Y {
+			if y > last {
+				last = y
+			}
+		}
+		w := want[i]
+		if v.label != w.label {
+			t.Fatalf("variant order changed: %s vs %s", v.label, w.label)
+		}
+		if math.Abs(out.convergeUs-w.convergeUs) > 1e-6 ||
+			math.Abs(out.maxQueueKB-w.maxQueueKB) > 1e-6 ||
+			math.Abs(last-w.lastFinish) > 1e-6 {
+			t.Errorf("%s: got (converge=%v, maxQ=%v, last=%v), golden (%v, %v, %v)",
+				v.label, out.convergeUs, out.maxQueueKB, last,
+				w.convergeUs, w.maxQueueKB, w.lastFinish)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfigMatchesFig4(t *testing.T) {
+	c := DefaultConfig()
+	if c.RTT != 30000 || c.MTU != 1000 || c.S != 30 || c.Beta != 0.5 {
+		t.Fatalf("parameters do not match Fig. 4: %+v", c)
+	}
+	if c.C1 != GbpsToBytesPerNs(100) || c.C0 != GbpsToBytesPerNs(50) {
+		t.Fatalf("initial rates %v/%v, want 12.5/6.25 bytes/ns", c.C1, c.C0)
+	}
+}
+
+func TestClosedFormsAtZero(t *testing.T) {
+	c := DefaultConfig()
+	if c.RateRTT(c.C1, 0) != c.C1 || c.RateSF(c.C1, 0) != c.C1 {
+		t.Fatal("rates at t=0 must equal initial rates")
+	}
+	if g := c.FairnessGap(0); g != 0 {
+		t.Fatalf("gap at t=0 = %v, want 0", g)
+	}
+}
+
+func TestRTTDecayHalvesPerBetaInterval(t *testing.T) {
+	c := DefaultConfig()
+	// After one decrease interval r, the rate decays by e^{-beta}; the
+	// integral of the MD model over an interval matches a factor-of-beta
+	// decrease in the continuous sense.
+	got := c.RateRTT(c.C1, c.RTT)
+	want := c.C1 * math.Exp(-c.Beta)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RateRTT(r) = %v, want %v", got, want)
+	}
+}
+
+func TestSFDecaysFasterForHighRates(t *testing.T) {
+	c := DefaultConfig()
+	// SF decrease frequency scales with rate: over the same horizon the
+	// 100G flow must lose proportionally more than the 50G flow.
+	t1 := 100000.0
+	lossHigh := (c.C1 - c.RateSF(c.C1, t1)) / c.C1
+	lossLow := (c.C0 - c.RateSF(c.C0, t1)) / c.C0
+	if lossHigh <= lossLow {
+		t.Fatalf("high-rate loss %v not above low-rate loss %v", lossHigh, lossLow)
+	}
+}
+
+func TestConvergesFasterCondition(t *testing.T) {
+	c := DefaultConfig()
+	// 1/30000 = 3.3e-5 < (12.5+6.25)/30000 = 6.25e-4.
+	if !c.ConvergesFaster() {
+		t.Fatal("Fig. 4 parameters must satisfy the convergence condition")
+	}
+	// Slow sampling (huge s) violates it.
+	c.S = 1e6
+	if c.ConvergesFaster() {
+		t.Fatal("s=1e6 should not satisfy the condition")
+	}
+	// Very long RTT satisfies it even then.
+	c.RTT = 1e12
+	if !c.ConvergesFaster() {
+		t.Fatal("long RTTs should restore the condition")
+	}
+}
+
+func TestGapPositiveAndEventuallyDiminishes(t *testing.T) {
+	// The Fig. 4 shape: the gap rises from 0, peaks, then diminishes
+	// toward 0 as both protocols converge.
+	c := DefaultConfig()
+	pts := Integrate(c, 100, 3e6)
+	if pts[0].Gap != 0 {
+		t.Fatalf("gap at origin = %v", pts[0].Gap)
+	}
+	peak, peakIdx := 0.0, 0
+	for i, p := range pts {
+		if p.Gap > peak {
+			peak, peakIdx = p.Gap, i
+		}
+		// Late in the run the exponential (per-RTT) decay undercuts the
+		// hyperbolic SF decay, so the gap may cross slightly below zero;
+		// any substantial negative value would mean SF never helped.
+		if p.Gap < -0.01 {
+			t.Fatalf("gap substantially negative at t=%v: %v", p.T, p.Gap)
+		}
+	}
+	if peak <= 0.5 {
+		t.Fatalf("gap peak = %v bytes/ns, want a substantial positive peak", peak)
+	}
+	if peakIdx == 0 || peakIdx == len(pts)-1 {
+		t.Fatalf("peak at boundary (idx %d); want interior rise-and-fall", peakIdx)
+	}
+	last := pts[len(pts)-1].Gap
+	if last > peak/2 {
+		t.Fatalf("gap did not diminish: peak %v, final %v", peak, last)
+	}
+}
+
+func TestIntegrateMatchesClosedForm(t *testing.T) {
+	c := DefaultConfig()
+	pts := Integrate(c, 50, 1e6)
+	for _, p := range pts {
+		wantR1 := c.RateRTT(c.C1, p.T)
+		wantS1 := c.RateSF(c.C1, p.T)
+		if math.Abs(p.R1-wantR1) > 1e-6*wantR1+1e-12 {
+			t.Fatalf("RK4 R1 at t=%v: %v vs closed form %v", p.T, p.R1, wantR1)
+		}
+		if math.Abs(p.S1-wantS1) > 1e-6*wantS1+1e-12 {
+			t.Fatalf("RK4 S1 at t=%v: %v vs closed form %v", p.T, p.S1, wantS1)
+		}
+	}
+}
+
+func TestIntegrateValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive dt")
+		}
+	}()
+	Integrate(DefaultConfig(), 0, 100)
+}

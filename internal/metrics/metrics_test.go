@@ -1,0 +1,242 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"faircc/internal/cc"
+	"faircc/internal/net"
+	"faircc/internal/sim"
+)
+
+type fixedAlgo struct{ ctl cc.Control }
+
+func (a *fixedAlgo) Name() string                 { return "fixed" }
+func (a *fixedAlgo) Init(cc.Env) cc.Control       { return a.ctl }
+func (a *fixedAlgo) OnAck(cc.Feedback) cc.Control { return a.ctl }
+
+func rateAlgo(bps float64) cc.Algorithm {
+	return &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: bps}}
+}
+
+func buildStar(nHosts int) (*sim.Engine, *net.Network, *net.Switch) {
+	eng := sim.NewEngine()
+	nw := net.New(eng, 1)
+	hosts := make([]*net.Host, nHosts)
+	for i := range hosts {
+		hosts[i] = nw.AddHost()
+	}
+	sw := nw.AddSwitch()
+	for _, h := range hosts {
+		sp, _ := nw.Connect(sw, h, 100e9, sim.Microsecond)
+		sw.AddRoute(h.NodeID(), sp)
+	}
+	return eng, nw, sw
+}
+
+func TestSeriesTimeToReach(t *testing.T) {
+	s := &Series{Points: []Point{
+		{10, 0.5}, {20, 0.96}, {30, 0.8}, {40, 0.97}, {50, 0.99},
+	}}
+	if got := s.TimeToReach(0.95); got != 40 {
+		t.Fatalf("TimeToReach = %v, want 40 (must settle, not just touch)", got)
+	}
+	if got := s.TimeToReach(0.999); got != -1 {
+		t.Fatalf("TimeToReach unreachable = %v, want -1", got)
+	}
+	if s.Last() != 0.99 {
+		t.Fatalf("Last = %v, want 0.99", s.Last())
+	}
+	var empty Series
+	if empty.Last() != 0 {
+		t.Fatal("empty Last should be 0")
+	}
+}
+
+func TestSampleJainEqualFlows(t *testing.T) {
+	eng, nw, _ := buildStar(3)
+	// Two equal senders to separate receivers: no contention, equal
+	// goodput, Jain stays ~1.
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: 0, Dst: 2, Size: 2_000_000}, rateAlgo(40e9))
+	nw.AddFlow(net.FlowSpec{ID: 2, Src: 1, Dst: 2, Size: 2_000_000}, rateAlgo(40e9))
+	s := SampleJain(nw, "j", 10*sim.Microsecond, 20*sim.Microsecond, sim.Millisecond)
+	eng.Run()
+	if len(s.Points) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, p := range s.Points {
+		if p.V < 0.98 {
+			t.Fatalf("Jain = %v at %v for equal flows, want ~1", p.V, p.T)
+		}
+	}
+}
+
+func TestSampleJainUnequalFlows(t *testing.T) {
+	eng, nw, _ := buildStar(3)
+	// A 4:1 goodput split: Jain = (5)^2/(2*17) ≈ 0.735.
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: 0, Dst: 2, Size: 4_000_000}, rateAlgo(40e9))
+	nw.AddFlow(net.FlowSpec{ID: 2, Src: 1, Dst: 2, Size: 1_000_000}, rateAlgo(10e9))
+	s := SampleJain(nw, "j", 20*sim.Microsecond, 40*sim.Microsecond, 700*sim.Microsecond)
+	eng.Run()
+	if len(s.Points) < 5 {
+		t.Fatalf("too few samples: %d", len(s.Points))
+	}
+	want := 25.0 / 34
+	mid := s.Points[len(s.Points)/2]
+	if math.Abs(mid.V-want) > 0.05 {
+		t.Fatalf("Jain = %v, want ~%v for a 4:1 split", mid.V, want)
+	}
+}
+
+func TestSampleQueue(t *testing.T) {
+	eng, nw, sw := buildStar(3)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: 1, Dst: 0, Size: 1_000_000}, rateAlgo(100e9))
+	nw.AddFlow(net.FlowSpec{ID: 2, Src: 2, Dst: 0, Size: 1_000_000}, rateAlgo(100e9))
+	s := SampleQueue(eng, sw.Ports()[0], "q", sim.Microsecond, 0, sim.Millisecond)
+	eng.Run()
+	peak := 0.0
+	for _, p := range s.Points {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	// 2:1 overload while both flows last: queue must build substantially.
+	if peak < 100_000 {
+		t.Fatalf("sampled queue peak = %v, want > 100KB under 2x overload", peak)
+	}
+	if s.Points[0].V != 0 {
+		t.Fatalf("queue at t=0 = %v, want 0", s.Points[0].V)
+	}
+}
+
+func TestFCTRecorderAndSlowdown(t *testing.T) {
+	eng, nw, _ := buildStar(2)
+	rec := &FCTRecorder{}
+	rec.Attach(nw)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 1_000_000}, rateAlgo(100e9))
+	eng.Run()
+	if len(rec.Records) != 1 {
+		t.Fatalf("records = %d, want 1", len(rec.Records))
+	}
+	r := rec.Records[0]
+	// Uncontended line-rate flow: slowdown must be very close to 1.
+	if r.Slowdown < 1 || r.Slowdown > 1.1 {
+		t.Fatalf("uncontended slowdown = %v, want ~1", r.Slowdown)
+	}
+	if r.Size != 1_000_000 || r.FCT <= 0 {
+		t.Fatalf("bad record: %+v", r)
+	}
+}
+
+func TestFCTRecorderChainsCallback(t *testing.T) {
+	eng, nw, _ := buildStar(2)
+	called := 0
+	nw.OnFlowFinish = func(*net.Flow) { called++ }
+	rec := &FCTRecorder{}
+	rec.Attach(nw)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 10_000}, rateAlgo(100e9))
+	eng.Run()
+	if called != 1 || len(rec.Records) != 1 {
+		t.Fatalf("chained callback called=%d records=%d, want 1 and 1", called, len(rec.Records))
+	}
+}
+
+func TestBucketBySize(t *testing.T) {
+	var recs []FlowRecord
+	// 100 flows sized 1..100 KB; slowdown grows with size; flow of size i
+	// KB has slowdown i.
+	for i := 1; i <= 100; i++ {
+		recs = append(recs, FlowRecord{ID: i, Size: int64(i * 1000), Slowdown: float64(i)})
+	}
+	buckets := BucketBySize(recs, 10, 99.9)
+	if len(buckets) != 10 {
+		t.Fatalf("buckets = %d, want 10", len(buckets))
+	}
+	for i, b := range buckets {
+		if b.Count != 10 {
+			t.Fatalf("bucket %d count = %d, want 10", i, b.Count)
+		}
+		wantMax := int64((i + 1) * 10 * 1000)
+		if b.MaxSize != wantMax {
+			t.Fatalf("bucket %d max = %d, want %d", i, b.MaxSize, wantMax)
+		}
+		// p99.9 of 10 values ≈ the largest.
+		if math.Abs(b.Slowdown-float64((i+1)*10)) > 0.5 {
+			t.Fatalf("bucket %d slowdown = %v, want ~%d", i, b.Slowdown, (i+1)*10)
+		}
+	}
+	// Monotone x.
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].MaxSize <= buckets[i-1].MaxSize {
+			t.Fatal("bucket sizes not increasing")
+		}
+	}
+	if got := BucketBySize(nil, 10, 50); got != nil {
+		t.Fatal("empty records should give nil buckets")
+	}
+	// More buckets than records degrades gracefully.
+	small := BucketBySize(recs[:3], 100, 50)
+	if len(small) != 3 {
+		t.Fatalf("tiny input buckets = %d, want 3", len(small))
+	}
+}
+
+func TestSlowdownAbove(t *testing.T) {
+	recs := []FlowRecord{
+		{Size: 100, Slowdown: 1},
+		{Size: 2_000_000, Slowdown: 30},
+		{Size: 5_000_000, Slowdown: 40},
+	}
+	got, err := SlowdownAbove(recs, 1_000_000, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 35 {
+		t.Fatalf("median long-flow slowdown = %v, want 35", got)
+	}
+	if _, err := SlowdownAbove(recs, 10_000_000, 50); err == nil {
+		t.Fatal("expected error when no flows qualify")
+	}
+}
+
+func TestStartFinish(t *testing.T) {
+	recs := []FlowRecord{
+		{Start: 20 * sim.Microsecond, FCT: 100 * sim.Microsecond},
+		{Start: 0, FCT: 150 * sim.Microsecond},
+	}
+	pts := StartFinish(recs)
+	if len(pts) != 2 || pts[0].T != 0 || pts[1].T != 20*sim.Microsecond {
+		t.Fatalf("points not start-ordered: %+v", pts)
+	}
+	if pts[0].V != 150 || pts[1].V != 120 {
+		t.Fatalf("finish times wrong: %+v", pts)
+	}
+}
+
+func TestSampleUtilization(t *testing.T) {
+	eng, nw, sw := buildStar(2)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 2_000_000}, rateAlgo(50e9))
+	s := SampleUtilization(eng, sw.Ports()[1], "u", 10*sim.Microsecond, 0, sim.Millisecond)
+	eng.Run()
+	if len(s.Points) < 10 {
+		t.Fatalf("too few samples: %d", len(s.Points))
+	}
+	// Mid-flow utilization of the port toward host 1: ~50% (paced at
+	// 50G on a 100G link, slightly above with headers). The flow lasts
+	// ~335us; sample well inside it.
+	mid := s.Points[10].V
+	if mid < 0.45 || mid > 0.6 {
+		t.Fatalf("mid utilization = %v, want ~0.52", mid)
+	}
+	// After the flow ends, utilization drops to ~0.
+	last := s.Points[len(s.Points)-1].V
+	if last > 0.05 {
+		t.Fatalf("post-flow utilization = %v, want ~0", last)
+	}
+	// Never above 1 (+epsilon for boundary effects).
+	for _, p := range s.Points {
+		if p.V > 1.01 {
+			t.Fatalf("utilization %v exceeds capacity", p.V)
+		}
+	}
+}

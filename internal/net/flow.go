@@ -1,0 +1,254 @@
+package net
+
+import (
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// FlowSpec describes a flow to inject: Size payload bytes from host Src to
+// host Dst starting at Start. IDs must be unique per network.
+type FlowSpec struct {
+	ID    int
+	Src   int
+	Dst   int
+	Size  int64
+	Start sim.Time
+}
+
+// Flow is the runtime state of one flow: the sender side (pacing, window,
+// congestion control) and the receiver side (delivery accounting, CNP
+// policy). Flows are created with Network.AddFlow.
+type Flow struct {
+	Spec FlowSpec
+
+	net  *Network
+	host *Host // source host
+	algo cc.Algorithm
+	ctl  cc.Control
+
+	sent     int64 // payload bytes sent
+	acked    int64 // payload bytes acknowledged
+	inflight int64
+	nextSend sim.Time
+	pending  *sim.Event
+	wake     func() // bound once: the pacing-wakeup event body
+
+	started  bool
+	finished bool
+	// StartedAt and FinishedAt are valid once started/finished;
+	// DeliveredAt is when the last payload byte reached the receiver
+	// (FinishedAt additionally waits for the final ACK).
+	StartedAt   sim.Time
+	FinishedAt  sim.Time
+	DeliveredAt sim.Time
+
+	hops     int
+	baseRTT  sim.Time
+	propSum  sim.Time // one-way propagation along the path
+	invBwSum float64  // sum over forward links of 1/bandwidth (s/bit)
+	minBw    float64  // bottleneck link bandwidth on the path
+
+	// Receiver side.
+	delivered int64
+	lastCNP   sim.Time
+
+	// deliveredMark supports goodput sampling (metrics take deltas).
+	deliveredMark int64
+}
+
+// Algorithm returns the flow's congestion-control instance.
+func (f *Flow) Algorithm() cc.Algorithm { return f.algo }
+
+// Finished reports whether all payload bytes have been acknowledged.
+func (f *Flow) Finished() bool { return f.finished }
+
+// Started reports whether the flow has begun sending.
+func (f *Flow) Started() bool { return f.started }
+
+// Active reports whether the flow has started and not finished.
+func (f *Flow) Active() bool { return f.started && !f.finished }
+
+// Delivered returns payload bytes received at the destination.
+func (f *Flow) Delivered() int64 { return f.delivered }
+
+// Acked returns payload bytes acknowledged at the sender.
+func (f *Flow) Acked() int64 { return f.acked }
+
+// Control returns the current congestion-control output.
+func (f *Flow) Control() cc.Control { return f.ctl }
+
+// BaseRTT returns the flow's unloaded round-trip time (propagation plus
+// MTU serialization on the forward path and ACK serialization back).
+func (f *Flow) BaseRTT() sim.Time { return f.baseRTT }
+
+// Hops returns the number of switches on the flow's path.
+func (f *Flow) Hops() int { return f.hops }
+
+// FCT returns the flow completion time measured to last-byte delivery at
+// the receiver, valid once finished.
+func (f *Flow) FCT() sim.Time { return f.DeliveredAt - f.Spec.Start }
+
+// IdealFCT returns the theoretical minimum completion time on an unloaded
+// path (the paper's FCT-slowdown denominator: propagation plus
+// serialization): the pipeline fill for the first packet — at its actual
+// wire size, which matters for sub-MTU flows — plus the remaining wire
+// bytes at the bottleneck bandwidth.
+func (f *Flow) IdealFCT() sim.Time {
+	nPkts := (f.Spec.Size + int64(f.net.MTU) - 1) / int64(f.net.MTU)
+	wire := f.Spec.Size + nPkts*int64(f.net.HeaderBytes)
+	first := int64(f.net.MTU + f.net.HeaderBytes)
+	if wire < first {
+		first = wire
+	}
+	fill := f.propSum + sim.Time(float64(first)*8*1e12*f.invBwSum)
+	return fill + sim.Time(float64(wire-first)*8*1e12/f.minBw)
+}
+
+// Slowdown returns achieved FCT divided by IdealFCT, valid once finished.
+func (f *Flow) Slowdown() float64 {
+	return float64(f.FCT()) / float64(f.IdealFCT())
+}
+
+// TakeDeliveredDelta returns payload bytes delivered since the previous
+// call (used by goodput/fairness samplers).
+func (f *Flow) TakeDeliveredDelta() int64 {
+	d := f.delivered - f.deliveredMark
+	f.deliveredMark = f.delivered
+	return d
+}
+
+// start initializes congestion control and begins sending.
+func (f *Flow) start() {
+	f.started = true
+	f.StartedAt = f.net.Eng.Now()
+	f.wake = func() {
+		f.pending = nil
+		f.trySend()
+	}
+	f.ctl = f.algo.Init(f.env())
+	f.trySend()
+}
+
+// env builds the cc.Env for this flow's algorithm.
+func (f *Flow) env() cc.Env {
+	return cc.Env{
+		LineRateBps: f.host.port.bw,
+		BaseRTT:     f.baseRTT,
+		MTU:         f.net.MTU,
+		Hops:        f.hops,
+		Rand:        f.net.rand,
+		Now:         f.net.Eng.Now,
+		Schedule: func(d sim.Time, fn func()) {
+			if f.finished {
+				return
+			}
+			f.net.Eng.After(d, func() {
+				if !f.finished {
+					fn()
+				}
+			})
+		},
+		SetControl: func(c cc.Control) {
+			if !f.finished {
+				f.ctl = c
+				f.trySend()
+			}
+		},
+	}
+}
+
+// trySend releases as many packets as the window and pacer currently
+// allow, then schedules a wakeup at the pacing horizon if more payload
+// remains and the window is open. It is idempotent: redundant calls are
+// harmless.
+func (f *Flow) trySend() {
+	if f.finished {
+		return
+	}
+	now := f.net.Eng.Now()
+	for f.sent < f.Spec.Size {
+		if float64(f.inflight) >= f.ctl.WindowBytes {
+			return // window closed; an ACK will reopen it
+		}
+		if now < f.nextSend {
+			f.schedule(f.nextSend)
+			return
+		}
+		payload := f.Spec.Size - f.sent
+		if payload > int64(f.net.MTU) {
+			payload = int64(f.net.MTU)
+		}
+		p := f.net.getPacket()
+		p.Kind = Data
+		p.Flow = f
+		p.Src = f.Spec.Src
+		p.Dst = f.Spec.Dst
+		p.Seq = f.sent
+		p.Payload = int(payload)
+		p.Wire = int(payload) + f.net.HeaderBytes
+		p.SentAt = now
+		f.sent += payload
+		f.inflight += payload
+		if h := f.net.Hooks.OnSend; h != nil {
+			h(f, p.Seq, p.Payload)
+		}
+		// Pace the full wire size at the controlled rate.
+		gap := sim.TransmitTime(p.Wire, f.ctl.RateBps)
+		if f.nextSend < now {
+			f.nextSend = now
+		}
+		f.nextSend += gap
+		f.host.port.send(p)
+	}
+}
+
+func (f *Flow) schedule(at sim.Time) {
+	if f.pending != nil {
+		if f.pending.At() == at {
+			return
+		}
+		f.net.Eng.Cancel(f.pending)
+	}
+	f.pending = f.net.Eng.At(at, f.wake)
+}
+
+// onAck processes an acknowledgement at the sender.
+func (f *Flow) onAck(p *Packet) {
+	newly := p.AckSeq - f.acked
+	if newly <= 0 {
+		return // duplicate or reordered; cannot happen with per-flow FIFO paths
+	}
+	f.acked = p.AckSeq
+	f.inflight -= newly
+	now := f.net.Eng.Now()
+	if f.acked >= f.Spec.Size {
+		f.finish(now)
+		return
+	}
+	f.ctl = f.algo.OnAck(cc.Feedback{
+		Now:        now,
+		RTT:        now - p.SentAt,
+		SentAt:     p.SentAt,
+		AckedBytes: f.acked,
+		SentBytes:  f.sent,
+		NewlyAcked: int(newly),
+		ECE:        p.ECE,
+		Hops:       p.Hops,
+	})
+	if h := f.net.Hooks.OnControl; h != nil {
+		h(f, f.ctl)
+	}
+	f.trySend()
+}
+
+func (f *Flow) finish(now sim.Time) {
+	f.finished = true
+	f.FinishedAt = now
+	if f.pending != nil {
+		f.net.Eng.Cancel(f.pending)
+		f.pending = nil
+	}
+	if f.net.OnFlowFinish != nil {
+		f.net.OnFlowFinish(f)
+	}
+}

@@ -1,0 +1,73 @@
+package net
+
+// Host is an end host with a single network uplink. It sources flows
+// (paced and windowed by their congestion-control algorithm) and, as a
+// receiver, acknowledges every arriving data packet, echoing INT telemetry
+// and the sender timestamp, and applying the network's CNP policy to ECN
+// marks.
+type Host struct {
+	net  *Network
+	id   int
+	port *Port
+}
+
+// NodeID implements Node.
+func (h *Host) NodeID() int { return h.id }
+
+// Port returns the host's uplink port (nil until connected).
+func (h *Host) Port() *Port { return h.port }
+
+// Receive implements Node.
+func (h *Host) Receive(p *Packet, in *Port) {
+	switch p.Kind {
+	case Pause:
+		in.pausedBy = true
+		h.net.putPacket(p)
+		return
+	case Resume:
+		in.pausedBy = false
+		h.net.putPacket(p)
+		in.kick()
+		return
+	case Data:
+		h.receiveData(p)
+	case Ack:
+		f := p.Flow
+		f.onAck(p)
+		h.net.putPacket(p)
+	}
+}
+
+func (h *Host) receiveData(p *Packet) {
+	f := p.Flow
+	if p.Dst != h.id {
+		panic("net: data packet delivered to wrong host")
+	}
+	f.delivered += int64(p.Payload)
+	if f.delivered >= f.Spec.Size {
+		f.DeliveredAt = h.net.Eng.Now()
+	}
+	if hook := h.net.Hooks.OnDeliver; hook != nil {
+		hook(f, p.Seq, p.Payload)
+	}
+
+	ack := h.net.getPacket()
+	ack.Kind = Ack
+	ack.Flow = f
+	ack.Src = h.id
+	ack.Dst = p.Src
+	ack.Wire = h.net.AckBytes
+	ack.AckSeq = f.delivered
+	ack.SentAt = p.SentAt
+	// Move the collected telemetry to the ACK without copying.
+	ack.Hops, p.Hops = p.Hops, ack.Hops[:0]
+	if p.ECN {
+		now := h.net.Eng.Now()
+		if h.net.CNPInterval == 0 || now-f.lastCNP >= h.net.CNPInterval {
+			ack.ECE = true
+			f.lastCNP = now
+		}
+	}
+	h.net.putPacket(p)
+	h.port.send(ack)
+}

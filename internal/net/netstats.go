@@ -1,0 +1,100 @@
+package net
+
+// PortStats is a snapshot of one port's counters.
+type PortStats struct {
+	Bandwidth  float64
+	TxBytes    int64
+	QueueBytes int64
+	QueuePeak  int64 // since the last ResetQueuePeak
+}
+
+// Stats snapshots a port.
+func (pt *Port) Stats() PortStats {
+	return PortStats{
+		Bandwidth:  pt.bw,
+		TxBytes:    pt.txBytes,
+		QueueBytes: pt.q.Bytes(),
+		QueuePeak:  pt.q.Peak(),
+	}
+}
+
+// SwitchStats aggregates a switch's ports.
+type SwitchStats struct {
+	Ports         int
+	TxBytes       int64
+	QueuedBytes   int64
+	MaxQueuePeak  int64
+	BusiestPortTx int64
+}
+
+// Stats snapshots a switch.
+func (s *Switch) Stats() SwitchStats {
+	st := SwitchStats{Ports: len(s.ports)}
+	for _, p := range s.ports {
+		st.TxBytes += p.txBytes
+		st.QueuedBytes += p.q.Bytes()
+		if pk := p.q.Peak(); pk > st.MaxQueuePeak {
+			st.MaxQueuePeak = pk
+		}
+		if p.txBytes > st.BusiestPortTx {
+			st.BusiestPortTx = p.txBytes
+		}
+	}
+	return st
+}
+
+// NetworkStats aggregates the whole network at a point in time.
+type NetworkStats struct {
+	Hosts, Switches int
+	FlowsTotal      int
+	FlowsActive     int
+	FlowsFinished   int
+	PayloadSent     int64 // payload bytes sent by all flows
+	PayloadAcked    int64
+	FabricTxBytes   int64 // wire bytes transmitted by all switch ports
+	MaxQueuePeak    int64 // deepest egress queue seen on any switch port
+	QueuedBytes     int64 // bytes currently sitting in switch queues
+	PFCPauses       int64 // total PFC Pause frames emitted (0 unless PFC on)
+}
+
+// Stats snapshots the network. Peaks cover the period since the last
+// ResetQueuePeaks (or the start of the simulation).
+func (n *Network) Stats() NetworkStats {
+	st := NetworkStats{
+		Hosts:      len(n.hosts),
+		Switches:   len(n.switches),
+		FlowsTotal: len(n.flows),
+	}
+	for _, f := range n.flows {
+		if f.Active() {
+			st.FlowsActive++
+		}
+		if f.finished {
+			st.FlowsFinished++
+		}
+		st.PayloadSent += f.sent
+		st.PayloadAcked += f.acked
+	}
+	for _, s := range n.switches {
+		ss := s.Stats()
+		st.FabricTxBytes += ss.TxBytes
+		st.QueuedBytes += ss.QueuedBytes
+		if ss.MaxQueuePeak > st.MaxQueuePeak {
+			st.MaxQueuePeak = ss.MaxQueuePeak
+		}
+		for _, p := range s.ports {
+			st.PFCPauses += p.pausesSent
+		}
+	}
+	return st
+}
+
+// ResetQueuePeaks clears all switch ports' queue high-water marks, so the
+// next Stats reports peaks for a fresh measurement window.
+func (n *Network) ResetQueuePeaks() {
+	for _, s := range n.switches {
+		for _, p := range s.ports {
+			p.q.PeakReset()
+		}
+	}
+}

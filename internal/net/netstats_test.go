@@ -1,0 +1,89 @@
+package net
+
+import (
+	"testing"
+
+	"faircc/internal/cc"
+)
+
+func TestNetworkStats(t *testing.T) {
+	eng, nw, sw := star(t, 3, 1)
+	a1 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	a2 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	nw.AddFlow(FlowSpec{ID: 1, Src: 1, Dst: 0, Size: 100_000}, a1)
+	nw.AddFlow(FlowSpec{ID: 2, Src: 2, Dst: 0, Size: 100_000}, a2)
+
+	st := nw.Stats()
+	if st.Hosts != 3 || st.Switches != 1 || st.FlowsTotal != 2 {
+		t.Fatalf("initial stats wrong: %+v", st)
+	}
+	if st.FlowsActive != 0 || st.FlowsFinished != 0 {
+		t.Fatalf("flows counted before start: %+v", st)
+	}
+
+	eng.Run()
+	st = nw.Stats()
+	if st.FlowsFinished != 2 || st.FlowsActive != 0 {
+		t.Fatalf("final flow counts wrong: %+v", st)
+	}
+	if st.PayloadSent != 200_000 || st.PayloadAcked != 200_000 {
+		t.Fatalf("payload accounting wrong: %+v", st)
+	}
+	// The switch transmitted all data (plus headers) toward host 0 and
+	// all ACKs back: more than the payload, less than 2x.
+	wire := int64(200_000 + 200*48)
+	if st.FabricTxBytes < wire || st.FabricTxBytes > wire+100*200 {
+		t.Fatalf("fabric tx = %d, want wire data %d plus ACKs", st.FabricTxBytes, wire)
+	}
+	// Two line-rate senders into one port must have left a queue peak.
+	if st.MaxQueuePeak < 50_000 {
+		t.Fatalf("max queue peak = %d, want a substantial incast peak", st.MaxQueuePeak)
+	}
+	if st.QueuedBytes != 0 {
+		t.Fatalf("queued bytes after drain = %d, want 0", st.QueuedBytes)
+	}
+
+	// Peak resets give a fresh window.
+	nw.ResetQueuePeaks()
+	if got := nw.Stats().MaxQueuePeak; got != 0 {
+		t.Fatalf("peak after reset = %d, want 0", got)
+	}
+
+	ss := sw.Stats()
+	if ss.Ports != 3 || ss.TxBytes != st.FabricTxBytes {
+		t.Fatalf("switch stats inconsistent: %+v vs network %+v", ss, st)
+	}
+	if ss.BusiestPortTx < wire {
+		t.Fatalf("busiest port tx = %d, want >= %d (the incast port)", ss.BusiestPortTx, wire)
+	}
+	ps := sw.Ports()[0].Stats()
+	if ps.Bandwidth != gbps100 || ps.TxBytes == 0 {
+		t.Fatalf("port stats wrong: %+v", ps)
+	}
+}
+
+func TestPFCPauseCounter(t *testing.T) {
+	eng, nw, _ := star(t, 3, 1)
+	nw.PFCPauseBytes = 20_000
+	nw.PFCResumeBytes = 10_000
+	a1 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	a2 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	nw.AddFlow(FlowSpec{ID: 1, Src: 1, Dst: 0, Size: 500_000}, a1)
+	nw.AddFlow(FlowSpec{ID: 2, Src: 2, Dst: 0, Size: 500_000}, a2)
+	eng.Run()
+	st := nw.Stats()
+	if st.PFCPauses == 0 {
+		t.Fatal("2x overload past a 20KB threshold must emit pauses")
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Without PFC the counter stays zero.
+	eng2, nw2, _ := star(t, 3, 1)
+	nw2.AddFlow(FlowSpec{ID: 1, Src: 1, Dst: 0, Size: 100_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}})
+	eng2.Run()
+	if nw2.Stats().PFCPauses != 0 {
+		t.Fatal("pauses counted with PFC disabled")
+	}
+}

@@ -1,0 +1,254 @@
+package net
+
+import (
+	"fmt"
+	"math/rand"
+
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// Network assembles hosts, switches, links and flows over a sim.Engine.
+// Construction order: create nodes, Connect them, add switch routes, then
+// AddFlow. The network is single-threaded and deterministic for a fixed
+// seed.
+type Network struct {
+	Eng  *sim.Engine
+	rand *rand.Rand
+
+	// MTU is the payload bytes per full data packet (1000, as in the
+	// paper's fluid model and the HPCC artifact).
+	MTU int
+	// HeaderBytes is added to every data packet on the wire.
+	HeaderBytes int
+	// AckBytes is the wire size of an acknowledgement.
+	AckBytes int
+
+	// PFCPauseBytes enables priority flow control when positive: an
+	// ingress port that has at least this many bytes buffered in the node
+	// pauses its upstream sender. Zero (the default) disables PFC;
+	// queues are unbounded and the network is lossless by construction.
+	PFCPauseBytes int64
+	// PFCResumeBytes is the occupancy at which a paused upstream resumes.
+	PFCResumeBytes int64
+
+	// CNPInterval rate-limits congestion echoes per flow at the receiver
+	// (DCQCN's CNP timer). Zero echoes every ECN-marked packet.
+	CNPInterval sim.Time
+
+	// OnFlowFinish, when set, is invoked as each flow completes.
+	OnFlowFinish func(*Flow)
+
+	// Hooks are optional per-event observers (all nil by default; a nil
+	// hook costs one branch on the hot path). internal/trace attaches
+	// recorders here.
+	Hooks Hooks
+
+	hosts    []*Host
+	switches []*Switch
+	flows    []*Flow
+	pool     []*Packet
+	nextID   int
+}
+
+// Hooks are optional observation points for tracing and debugging.
+type Hooks struct {
+	// OnSend fires when a data packet leaves a sender (before queueing).
+	OnSend func(f *Flow, seq int64, payload int)
+	// OnDeliver fires when a data packet's payload reaches the receiver.
+	OnDeliver func(f *Flow, seq int64, payload int)
+	// OnControl fires after congestion control updates a flow's control.
+	OnControl func(f *Flow, ctl cc.Control)
+}
+
+// New returns an empty network over eng with the given PRNG seed.
+func New(eng *sim.Engine, seed int64) *Network {
+	return &Network{
+		Eng:         eng,
+		rand:        rand.New(rand.NewSource(seed)),
+		MTU:         1000,
+		HeaderBytes: 48,
+		AckBytes:    64,
+	}
+}
+
+// Rand returns the network's deterministic PRNG.
+func (n *Network) Rand() *rand.Rand { return n.rand }
+
+// AddHost creates a host. Host ids are assigned in creation order and are
+// the ids used in FlowSpec and routing.
+func (n *Network) AddHost() *Host {
+	h := &Host{net: n, id: n.nextID}
+	n.nextID++
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// AddSwitch creates a switch.
+func (n *Network) AddSwitch() *Switch {
+	s := &Switch{net: n, id: n.nextID, routes: make(map[int][]*Port)}
+	n.nextID++
+	n.switches = append(n.switches, s)
+	return s
+}
+
+// Hosts returns all hosts in id order.
+func (n *Network) Hosts() []*Host { return n.hosts }
+
+// Switches returns all switches in creation order.
+func (n *Network) Switches() []*Switch { return n.switches }
+
+// Flows returns all flows in AddFlow order.
+func (n *Network) Flows() []*Flow { return n.flows }
+
+// Connect links a and b with a full-duplex link of the given bandwidth and
+// propagation delay, returning (a's port, b's port).
+func (n *Network) Connect(a, b Node, bps float64, delay sim.Time) (*Port, *Port) {
+	pa := &Port{net: n, owner: a, bw: bps, delay: delay}
+	pb := &Port{net: n, owner: b, bw: bps, delay: delay}
+	pa.peer, pb.peer = pb, pa
+	pa.txDone = func() { pa.finishTx(pa.txPkt) }
+	pb.txDone = func() { pb.finishTx(pb.txPkt) }
+	if sw, ok := a.(*Switch); ok {
+		pa.stampINT = true
+		sw.ports = append(sw.ports, pa)
+	}
+	if sw, ok := b.(*Switch); ok {
+		pb.stampINT = true
+		sw.ports = append(sw.ports, pb)
+	}
+	if h, ok := a.(*Host); ok {
+		if h.port != nil {
+			panic(fmt.Sprintf("net: host %d connected twice", h.id))
+		}
+		h.port = pa
+	}
+	if h, ok := b.(*Host); ok {
+		if h.port != nil {
+			panic(fmt.Sprintf("net: host %d connected twice", h.id))
+		}
+		h.port = pb
+	}
+	return pa, pb
+}
+
+// AddFlow registers a flow and schedules its start. The algorithm instance
+// must be exclusive to this flow.
+func (n *Network) AddFlow(spec FlowSpec, algo cc.Algorithm) *Flow {
+	if spec.Size <= 0 {
+		panic("net: flow size must be positive")
+	}
+	src := n.hostByID(spec.Src)
+	f := &Flow{Spec: spec, net: n, host: src, algo: algo}
+	n.pathInfo(f)
+	n.flows = append(n.flows, f)
+	n.Eng.At(spec.Start, f.start)
+	return f
+}
+
+func (n *Network) hostByID(id int) *Host {
+	for _, h := range n.hosts {
+		if h.id == id {
+			return h
+		}
+	}
+	panic(fmt.Sprintf("net: no host with id %d", id))
+}
+
+// pathInfo walks the route the flow's data packets will take (using the
+// same ECMP choices) and fills in the flow's path-derived constants: the
+// switch hop count; the unloaded RTT (per-link propagation plus MTU-packet
+// serialization forward, propagation plus ACK serialization back); the
+// one-way pipeline-fill delay; and the bottleneck bandwidth.
+func (n *Network) pathInfo(f *Flow) {
+	if f.host.port == nil {
+		panic(fmt.Sprintf("net: host %d is not connected", f.Spec.Src))
+	}
+	probe := &Packet{Kind: Data, Flow: f, Src: f.Spec.Src, Dst: f.Spec.Dst}
+	port := f.host.port
+	f.minBw = port.bw
+	for steps := 0; ; steps++ {
+		if steps > 64 {
+			panic("net: routing loop")
+		}
+		if port.bw < f.minBw {
+			f.minBw = port.bw
+		}
+		f.propSum += port.delay
+		f.invBwSum += 1 / port.bw
+		fwd := port.delay + sim.TransmitTime(n.MTU+n.HeaderBytes, port.bw)
+		f.baseRTT += fwd + port.delay + sim.TransmitTime(n.AckBytes, port.bw)
+		next := port.peer.owner
+		switch node := next.(type) {
+		case *Host:
+			if node.id != f.Spec.Dst {
+				panic(fmt.Sprintf("net: route for flow %d reached host %d, want %d",
+					f.Spec.ID, node.id, f.Spec.Dst))
+			}
+			return
+		case *Switch:
+			f.hops++
+			port = node.route(probe)
+		}
+	}
+}
+
+// ProbePath computes path constants (switch hops, unloaded RTT, bottleneck
+// bandwidth) for a hypothetical flow without adding it — useful for sizing
+// protocol parameters such as VAI's min-BDP token threshold.
+func (n *Network) ProbePath(spec FlowSpec) (hops int, baseRTT sim.Time, minBw float64) {
+	f := &Flow{Spec: spec, net: n, host: n.hostByID(spec.Src)}
+	n.pathInfo(f)
+	return f.hops, f.baseRTT, f.minBw
+}
+
+// getPacket returns a pooled packet with its arrival closure bound.
+func (n *Network) getPacket() *Packet {
+	if m := len(n.pool); m > 0 {
+		p := n.pool[m-1]
+		n.pool = n.pool[:m-1]
+		return p
+	}
+	p := &Packet{}
+	p.arrive = func() { p.dest.owner.Receive(p, p.dest) }
+	return p
+}
+
+// putPacket recycles a packet.
+func (n *Network) putPacket(p *Packet) {
+	p.reset()
+	if len(n.pool) < 1<<16 {
+		n.pool = append(n.pool, p)
+	}
+}
+
+// AllFinished reports whether every flow has completed.
+func (n *Network) AllFinished() bool {
+	for _, f := range n.flows {
+		if !f.finished {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckConservation verifies the lossless invariants after a run: every
+// finished flow delivered and acknowledged exactly its size, and no flow
+// has negative in-flight bytes. It returns an error describing the first
+// violation.
+func (n *Network) CheckConservation() error {
+	for _, f := range n.flows {
+		if f.inflight < 0 {
+			return fmt.Errorf("flow %d: negative inflight %d", f.Spec.ID, f.inflight)
+		}
+		if f.finished && (f.delivered != f.Spec.Size || f.acked < f.Spec.Size) {
+			return fmt.Errorf("flow %d: finished with delivered=%d acked=%d size=%d",
+				f.Spec.ID, f.delivered, f.acked, f.Spec.Size)
+		}
+		if f.delivered > f.Spec.Size {
+			return fmt.Errorf("flow %d: delivered %d exceeds size %d",
+				f.Spec.ID, f.delivered, f.Spec.Size)
+		}
+	}
+	return nil
+}

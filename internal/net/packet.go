@@ -1,0 +1,80 @@
+// Package net implements the packet-level network model of the simulator:
+// links with serialization and propagation delay, output-queued switches
+// with FIFO egress queues, In-band Network Telemetry stamping, RED/ECN
+// marking, optional PFC (priority flow control) for losslessness under
+// finite buffers, and hosts running paced, windowed, per-packet-ACKed
+// RDMA-style flows driven by a cc.Algorithm.
+//
+// The model corresponds to the ns-3 + HPCC-artifact setup the paper uses:
+// every mechanism the evaluated protocols observe (queue growth,
+// serialization, INT, ECN, per-packet ACKs) is modeled explicitly; packet
+// payloads are not.
+package net
+
+import (
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// Kind discriminates packet types.
+type Kind uint8
+
+const (
+	// Data carries flow payload and collects INT telemetry hop by hop.
+	Data Kind = iota
+	// Ack acknowledges one data packet, echoing its telemetry, send
+	// timestamp, and (when the receiver's CNP policy fires) an ECE mark.
+	Ack
+	// Pause and Resume are PFC control frames; they preempt data and are
+	// never queued behind it.
+	Pause
+	Resume
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Data:
+		return "data"
+	case Ack:
+		return "ack"
+	case Pause:
+		return "pause"
+	case Resume:
+		return "resume"
+	}
+	return "unknown"
+}
+
+// Packet is a simulated packet. Packets are pooled by the Network; user
+// code must not retain them after handing them off.
+type Packet struct {
+	Kind    Kind
+	Flow    *Flow
+	Src     int // source host id (for routing)
+	Dst     int // destination host id (for routing)
+	Seq     int64
+	Payload int // payload bytes (0 for control)
+	Wire    int // total on-wire bytes (payload + header)
+
+	SentAt sim.Time // data: when it left the sender; ack: echo of the same
+	AckSeq int64    // ack: cumulative payload bytes received
+	ECN    bool     // congestion-experienced mark set by RED
+	ECE    bool     // ack: congestion echo (CNP)
+	Hops   []cc.Telemetry
+
+	ingress *Port // switch-internal: arrival port for PFC accounting
+
+	// dest and arrive implement allocation-free arrival events: arrive is
+	// a closure over the packet built once per pooled Packet; dest is set
+	// before each propagation hop.
+	dest   *Port
+	arrive func()
+}
+
+// reset clears a pooled packet for reuse, keeping the Hops backing array
+// and the bound arrival closure.
+func (p *Packet) reset() {
+	hops := p.Hops[:0]
+	arrive := p.arrive
+	*p = Packet{Hops: hops, arrive: arrive}
+}

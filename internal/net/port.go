@@ -1,0 +1,190 @@
+package net
+
+import (
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// Node is a network element that can receive packets: a Host or a Switch.
+type Node interface {
+	// Receive is invoked when a packet fully arrives on one of the node's
+	// ports.
+	Receive(p *Packet, in *Port)
+	// NodeID returns the node's network-unique id.
+	NodeID() int
+}
+
+// Port is one direction-pair endpoint of a link: it owns the egress queue
+// and transmitter toward its peer, and is the identity under which
+// arriving packets are reported to its owner. Ports are created by
+// Network.Connect.
+type Port struct {
+	net   *Network
+	owner Node
+	peer  *Port
+	bw    float64  // link bandwidth, bps
+	delay sim.Time // propagation delay
+
+	q        queue
+	busy     bool
+	pausedBy bool // peer sent PFC Pause: hold data (control still flows)
+	txBytes  int64
+	stampINT bool       // owner is a switch: stamp telemetry on data dequeue
+	red      *REDConfig // ECN marking at enqueue when set
+
+	// PFC ingress-side accounting (switch owners only): bytes currently
+	// buffered in this node that arrived through this port.
+	ingressBytes int64
+	pauseSent    bool
+
+	// txPkt and txDone implement allocation-free serialization events:
+	// the port transmits one packet at a time, so a single bound closure
+	// (built in Network.Connect) serves every transmission.
+	txPkt  *Packet
+	txDone func()
+
+	// pausesSent counts PFC Pause frames emitted by this ingress (a
+	// head-of-line-blocking indicator).
+	pausesSent int64
+}
+
+// PausesSent returns how many PFC Pause frames this port has sent
+// upstream.
+func (pt *Port) PausesSent() int64 { return pt.pausesSent }
+
+// REDConfig is instantaneous-queue RED/ECN marking: packets are marked
+// with probability PMax * (q-KMin)/(KMax-KMin) between the thresholds and
+// always above KMax, as DCQCN configures switches.
+type REDConfig struct {
+	KMinBytes int64
+	KMaxBytes int64
+	PMax      float64
+}
+
+// Owner returns the node the port belongs to.
+func (pt *Port) Owner() Node { return pt.owner }
+
+// Peer returns the port at the other end of the link.
+func (pt *Port) Peer() *Port { return pt.peer }
+
+// Bandwidth returns the link bandwidth in bits per second.
+func (pt *Port) Bandwidth() float64 { return pt.bw }
+
+// QueueBytes returns the egress queue occupancy in bytes.
+func (pt *Port) QueueBytes() int64 { return pt.q.Bytes() }
+
+// QueuePeak returns the egress queue's byte high-water mark since the last
+// ResetQueuePeak.
+func (pt *Port) QueuePeak() int64 { return pt.q.Peak() }
+
+// ResetQueuePeak resets the high-water mark to the current occupancy.
+func (pt *Port) ResetQueuePeak() { pt.q.PeakReset() }
+
+// TxBytes returns cumulative bytes transmitted on the port.
+func (pt *Port) TxBytes() int64 { return pt.txBytes }
+
+// SetRED enables ECN marking on the egress queue.
+func (pt *Port) SetRED(cfg REDConfig) { pt.red = &cfg }
+
+// send enqueues a packet for transmission toward the peer.
+func (pt *Port) send(p *Packet) {
+	if pt.red != nil && p.Kind == Data {
+		pt.markECN(p)
+	}
+	pt.q.Push(p)
+	pt.kick()
+}
+
+// sendControl enqueues a PFC control frame ahead of any queued data.
+func (pt *Port) sendControl(p *Packet) {
+	pt.q.PushFront(p)
+	pt.kick()
+}
+
+func (pt *Port) markECN(p *Packet) {
+	q := pt.q.Bytes()
+	r := pt.red
+	if q <= r.KMinBytes {
+		return
+	}
+	prob := 1.0
+	if q < r.KMaxBytes {
+		prob = r.PMax * float64(q-r.KMinBytes) / float64(r.KMaxBytes-r.KMinBytes)
+	}
+	if pt.net.rand.Float64() < prob {
+		p.ECN = true
+	}
+}
+
+// kick starts the transmitter if it is idle and transmission is allowed.
+func (pt *Port) kick() {
+	if pt.busy || pt.q.Len() == 0 {
+		return
+	}
+	if pt.pausedBy {
+		// PFC pause stops data; control frames (always at the front)
+		// still flow.
+		if k := pt.q.buf[pt.q.head].Kind; k != Pause && k != Resume {
+			return
+		}
+	}
+	p := pt.q.Pop()
+	pt.busy = true
+	pt.txPkt = p
+	ser := sim.TransmitTime(p.Wire, pt.bw)
+	pt.net.Eng.After(ser, pt.txDone)
+}
+
+// finishTx completes serialization: stamps telemetry, releases PFC ingress
+// accounting, schedules arrival at the peer, and starts the next packet.
+func (pt *Port) finishTx(p *Packet) {
+	pt.txPkt = nil
+	pt.txBytes += int64(p.Wire)
+	if p.Kind == Data && pt.stampINT {
+		p.Hops = append(p.Hops, cc.Telemetry{
+			QueueBytes: pt.q.Bytes(),
+			TxBytes:    pt.txBytes,
+			TS:         pt.net.Eng.Now(),
+			RateBps:    pt.bw,
+		})
+	}
+	if p.ingress != nil {
+		p.ingress.creditIngress(int64(p.Wire))
+		p.ingress = nil
+	}
+	p.dest = pt.peer
+	pt.net.Eng.After(pt.delay, p.arrive)
+	pt.busy = false
+	pt.kick()
+}
+
+// chargeIngress attributes wire bytes buffered in the owner to this
+// ingress port and sends a PFC Pause upstream when the threshold is
+// crossed.
+func (pt *Port) chargeIngress(bytes int64) {
+	pt.ingressBytes += bytes
+	if th := pt.net.PFCPauseBytes; th > 0 && !pt.pauseSent && pt.ingressBytes >= th {
+		pt.pauseSent = true
+		pt.pausesSent++
+		pt.sendPFC(Pause)
+	}
+}
+
+// creditIngress releases buffered bytes and sends Resume when occupancy
+// falls below the resume threshold.
+func (pt *Port) creditIngress(bytes int64) {
+	pt.ingressBytes -= bytes
+	if pt.pauseSent && pt.ingressBytes <= pt.net.PFCResumeBytes {
+		pt.pauseSent = false
+		pt.sendPFC(Resume)
+	}
+}
+
+func (pt *Port) sendPFC(kind Kind) {
+	p := pt.net.getPacket()
+	p.Kind = kind
+	p.Wire = pfcFrameBytes
+	pt.sendControl(p)
+}
+
+const pfcFrameBytes = 64

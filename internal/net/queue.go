@@ -1,0 +1,79 @@
+package net
+
+// queue is a FIFO packet queue with byte accounting, implemented as a
+// growable ring buffer so sustained enqueue/dequeue churn does not allocate.
+type queue struct {
+	buf   []*Packet
+	head  int
+	n     int
+	bytes int64
+	// peak tracks the maximum byte occupancy since the last PeakReset,
+	// used by queue-depth samplers.
+	peak int64
+}
+
+// Len returns the number of queued packets.
+func (q *queue) Len() int { return q.n }
+
+// Bytes returns the queued bytes (wire sizes).
+func (q *queue) Bytes() int64 { return q.bytes }
+
+// Peak returns the maximum byte occupancy since the last PeakReset.
+func (q *queue) Peak() int64 { return q.peak }
+
+// PeakReset resets the occupancy high-water mark to the current depth.
+func (q *queue) PeakReset() { q.peak = q.bytes }
+
+// Push appends a packet.
+func (q *queue) Push(p *Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = p
+	q.n++
+	q.bytes += int64(p.Wire)
+	if q.bytes > q.peak {
+		q.peak = q.bytes
+	}
+}
+
+// PushFront prepends a packet (used for PFC control frames, which preempt
+// queued data).
+func (q *queue) PushFront(p *Packet) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1 + len(q.buf)) % len(q.buf)
+	q.buf[q.head] = p
+	q.n++
+	q.bytes += int64(p.Wire)
+	if q.bytes > q.peak {
+		q.peak = q.bytes
+	}
+}
+
+// Pop removes and returns the head packet, or nil if empty.
+func (q *queue) Pop() *Packet {
+	if q.n == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	q.bytes -= int64(p.Wire)
+	return p
+}
+
+func (q *queue) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]*Packet, size)
+	for i := 0; i < q.n; i++ {
+		buf[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = buf
+	q.head = 0
+}

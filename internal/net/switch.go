@@ -1,0 +1,75 @@
+package net
+
+import "fmt"
+
+// Switch is an output-queued switch: an arriving packet is routed by
+// destination host id to an egress port (ECMP-hashed when several are
+// configured) and joins that port's FIFO queue. Data packets receive INT
+// telemetry when they depart an egress port.
+type Switch struct {
+	net    *Network
+	id     int
+	ports  []*Port
+	routes map[int][]*Port // destination host id -> candidate egress ports
+}
+
+// NodeID implements Node.
+func (s *Switch) NodeID() int { return s.id }
+
+// Ports returns the switch's ports in attachment order.
+func (s *Switch) Ports() []*Port { return s.ports }
+
+// AddRoute registers egress ports for a destination host. Multiple ports
+// form an ECMP group selected by flow hash (so every flow keeps a single
+// path and in-order delivery).
+func (s *Switch) AddRoute(dstHost int, ports ...*Port) {
+	for _, p := range ports {
+		if p.owner != s {
+			panic("net: AddRoute with a port not owned by this switch")
+		}
+	}
+	s.routes[dstHost] = append(s.routes[dstHost], ports...)
+}
+
+// Receive implements Node.
+func (s *Switch) Receive(p *Packet, in *Port) {
+	switch p.Kind {
+	case Pause:
+		in.pausedBy = true
+		s.net.putPacket(p)
+		return
+	case Resume:
+		in.pausedBy = false
+		s.net.putPacket(p)
+		in.kick()
+		return
+	}
+	out := s.route(p)
+	if s.net.PFCPauseBytes > 0 {
+		p.ingress = in
+		in.chargeIngress(int64(p.Wire))
+	}
+	out.send(p)
+}
+
+func (s *Switch) route(p *Packet) *Port {
+	cands := s.routes[p.Dst]
+	switch len(cands) {
+	case 0:
+		panic(fmt.Sprintf("net: switch %d has no route to host %d", s.id, p.Dst))
+	case 1:
+		return cands[0]
+	}
+	return cands[ecmpHash(p.Flow.Spec.ID, s.id, len(cands))]
+}
+
+// ecmpHash picks a deterministic per-flow member of an ECMP group. It
+// mixes the switch id so consecutive switch layers do not make correlated
+// choices.
+func ecmpHash(flowID, switchID, n int) int {
+	x := uint64(flowID)*0x9e3779b97f4a7c15 ^ uint64(switchID)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	x *= 0x94d049bb133111eb
+	x ^= x >> 29
+	return int(x % uint64(n))
+}

@@ -1,0 +1,42 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		var count int64
+		seen := make([]int64, 100)
+		ForEach(100, workers, func(i int) {
+			atomic.AddInt64(&count, 1)
+			atomic.AddInt64(&seen[i], 1)
+		})
+		if count != 100 {
+			t.Fatalf("workers=%d ran %d, want 100", workers, count)
+		}
+		for i, s := range seen {
+			if s != 1 {
+				t.Fatalf("workers=%d index %d ran %d times", workers, i, s)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n=0")
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	got := Map(50, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("index %d = %d, want %d", i, v, i*i)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConstants(t *testing.T) {
+	if Nanosecond != 1000 || Microsecond != 1e6 || Millisecond != 1e9 || Second != 1e12 {
+		t.Fatalf("time constants wrong: ns=%d us=%d ms=%d s=%d",
+			Nanosecond, Microsecond, Millisecond, Second)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500 * Picosecond, "500ps"},
+		{80 * Nanosecond, "80ns"},
+		{12500 * Nanosecond, "12.5us"},
+		{3 * Millisecond, "3ms"},
+		{2 * Second, "2s"},
+		{-80 * Nanosecond, "-80ns"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestTransmitTimeExact(t *testing.T) {
+	// 1000 B at 100 Gb/s is exactly 80 ns; at 400 Gb/s exactly 20 ns.
+	if got := TransmitTime(1000, 100e9); got != 80*Nanosecond {
+		t.Errorf("TransmitTime(1000, 100G) = %v, want 80ns", got)
+	}
+	if got := TransmitTime(1000, 400e9); got != 20*Nanosecond {
+		t.Errorf("TransmitTime(1000, 400G) = %v, want 20ns", got)
+	}
+	if got := TransmitTime(64, 100e9); got != Time(5120) {
+		t.Errorf("TransmitTime(64, 100G) = %v ps, want 5120ps", int64(got))
+	}
+}
+
+func TestTransmitTimePanicsOnZeroBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero bandwidth")
+		}
+	}()
+	TransmitTime(1000, 0)
+}
+
+func TestBytesOver(t *testing.T) {
+	// 100 Gb/s for 80 ns moves exactly 1000 bytes.
+	if got := BytesOver(100e9, 80*Nanosecond); got != 1000 {
+		t.Errorf("BytesOver(100G, 80ns) = %v, want 1000", got)
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*Nanosecond, func() { order = append(order, 3) })
+	e.At(10*Nanosecond, func() { order = append(order, 1) })
+	e.At(20*Nanosecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events out of order: %v", order)
+	}
+	if e.Now() != 30*Nanosecond {
+		t.Fatalf("clock = %v, want 30ns", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	// Events at the same time run in scheduling order.
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(5*Nanosecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-time events not FIFO: %v", order)
+	}
+}
+
+func TestEngineSchedulingInsideEvent(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	e.At(10, func() {
+		got = append(got, e.Now())
+		e.After(5, func() { got = append(got, e.Now()) })
+		e.At(12, func() { got = append(got, e.Now()) })
+	})
+	e.Run()
+	want := []Time{10, 12, 15}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	ev := e.At(10, func() { ran = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+	if e.Steps() != 0 {
+		t.Fatalf("steps = %d, want 0", e.Steps())
+	}
+}
+
+func TestEngineCancelFromEvent(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	var ev *Event
+	ev = e.At(20, func() { ran = true })
+	e.At(10, func() { e.Cancel(ev) })
+	e.Run()
+	if ran {
+		t.Fatal("event cancelled mid-run still ran")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", count)
+	}
+	e.Run() // resume
+	if count != 10 {
+		t.Fatalf("resume ran to %d, want 10", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.At(at, func() { ran = append(ran, at) })
+	}
+	e.RunUntil(10)
+	if len(ran) != 2 {
+		t.Fatalf("RunUntil(10) ran %v, want [5 10]", ran)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock after RunUntil = %v, want 10", e.Now())
+	}
+	e.RunUntil(12) // no events in (10, 12]; clock still advances
+	if e.Now() != 12 {
+		t.Fatalf("clock = %v, want 12", e.Now())
+	}
+	e.RunUntil(100)
+	if len(ran) != 4 || e.Now() != 100 {
+		t.Fatalf("final ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	a := e.At(1, func() {})
+	e.At(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Cancel(a)
+	if e.Pending() != 1 {
+		t.Fatalf("pending after cancel = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineEventRecycling(t *testing.T) {
+	// Heavy scheduling should reuse Event structs without corrupting order.
+	e := NewEngine()
+	r := rand.New(rand.NewSource(1))
+	var last Time = -1
+	n := 0
+	var schedule func()
+	schedule = func() {
+		if n >= 10000 {
+			return
+		}
+		n++
+		if e.Now() < last {
+			t.Fatal("time went backwards")
+		}
+		last = e.Now()
+		e.After(Time(r.Intn(100)+1), schedule)
+		if r.Intn(4) == 0 {
+			ev := e.After(Time(r.Intn(50)+1), func() {})
+			e.Cancel(ev)
+		}
+	}
+	e.At(0, schedule)
+	e.Run()
+	if n != 10000 {
+		t.Fatalf("ran %d scheduled chain events, want 10000", n)
+	}
+}
+
+// Property: executing any set of events yields nondecreasing time, and every
+// non-cancelled event runs exactly once.
+func TestEngineMonotonicProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		seen := 0
+		var last Time = -1
+		ok := true
+		for _, d := range delays {
+			e.At(Time(d), func() {
+				seen++
+				if e.Now() < last {
+					ok = false
+				}
+				last = e.Now()
+			})
+		}
+		e.Run()
+		return ok && seen == len(delays)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

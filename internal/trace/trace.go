@@ -1,0 +1,194 @@
+// Package trace records flow-level simulation events (sends, deliveries,
+// congestion-control updates) through internal/net's hooks, for debugging
+// protocol behaviour and producing per-flow timelines. Tracing is opt-in
+// and adds one predictable branch per event when disabled.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"faircc/internal/cc"
+	"faircc/internal/net"
+	"faircc/internal/sim"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// Send is a data packet leaving the sender.
+	Send Kind = 1 << iota
+	// Deliver is payload arriving at the receiver.
+	Deliver
+	// Control is a congestion-control update (rate/window change).
+	Control
+	// Finish is flow completion.
+	Finish
+
+	// All enables every event kind.
+	All = Send | Deliver | Control | Finish
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Send:
+		return "send"
+	case Deliver:
+		return "deliver"
+	case Control:
+		return "control"
+	case Finish:
+		return "finish"
+	}
+	return "multi"
+}
+
+// Event is one recorded occurrence.
+type Event struct {
+	T       sim.Time
+	Kind    Kind
+	FlowID  int
+	Seq     int64   // byte offset (Send/Deliver)
+	Payload int     // payload bytes (Send/Deliver)
+	Rate    float64 // bps (Control)
+	Window  float64 // bytes (Control)
+}
+
+// Recorder accumulates events. Attach it before flows start.
+type Recorder struct {
+	Events []Event
+	// MaxEvents bounds memory; once reached, further events are dropped
+	// and Truncated is set. Zero means unlimited.
+	MaxEvents int
+	Truncated bool
+}
+
+// Attach subscribes the recorder to a network for the given event kinds,
+// chaining any hooks already installed.
+func Attach(nw *net.Network, kinds Kind) *Recorder {
+	r := &Recorder{}
+	now := nw.Eng.Now
+	add := func(e Event) {
+		if r.MaxEvents > 0 && len(r.Events) >= r.MaxEvents {
+			r.Truncated = true
+			return
+		}
+		r.Events = append(r.Events, e)
+	}
+	if kinds&Send != 0 {
+		prev := nw.Hooks.OnSend
+		nw.Hooks.OnSend = func(f *net.Flow, seq int64, payload int) {
+			if prev != nil {
+				prev(f, seq, payload)
+			}
+			add(Event{T: now(), Kind: Send, FlowID: f.Spec.ID, Seq: seq, Payload: payload})
+		}
+	}
+	if kinds&Deliver != 0 {
+		prev := nw.Hooks.OnDeliver
+		nw.Hooks.OnDeliver = func(f *net.Flow, seq int64, payload int) {
+			if prev != nil {
+				prev(f, seq, payload)
+			}
+			add(Event{T: now(), Kind: Deliver, FlowID: f.Spec.ID, Seq: seq, Payload: payload})
+		}
+	}
+	if kinds&Control != 0 {
+		prev := nw.Hooks.OnControl
+		nw.Hooks.OnControl = func(f *net.Flow, ctl cc.Control) {
+			if prev != nil {
+				prev(f, ctl)
+			}
+			add(Event{T: now(), Kind: Control, FlowID: f.Spec.ID,
+				Rate: ctl.RateBps, Window: ctl.WindowBytes})
+		}
+	}
+	if kinds&Finish != 0 {
+		prev := nw.OnFlowFinish
+		nw.OnFlowFinish = func(f *net.Flow) {
+			if prev != nil {
+				prev(f)
+			}
+			add(Event{T: now(), Kind: Finish, FlowID: f.Spec.ID})
+		}
+	}
+	return r
+}
+
+// WriteCSV dumps the events as CSV.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_ps,kind,flow,seq,payload,rate_bps,window_bytes"); err != nil {
+		return err
+	}
+	for _, e := range r.Events {
+		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%g,%g\n",
+			int64(e.T), e.Kind, e.FlowID, e.Seq, e.Payload, e.Rate, e.Window); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Point is one bin of a per-flow timeline.
+type Point struct {
+	T sim.Time // bin start
+	V float64
+}
+
+// FlowGoodput bins a flow's delivered bytes into intervals of bin and
+// returns the goodput in bits per second for each bin, covering the span
+// from the first to the last Deliver event.
+func (r *Recorder) FlowGoodput(flowID int, bin sim.Time) []Point {
+	if bin <= 0 {
+		panic("trace: bin must be positive")
+	}
+	var first, last sim.Time = -1, -1
+	for _, e := range r.Events {
+		if e.Kind == Deliver && e.FlowID == flowID {
+			if first < 0 {
+				first = e.T
+			}
+			last = e.T
+		}
+	}
+	if first < 0 {
+		return nil
+	}
+	nBins := int((last-first)/bin) + 1
+	bytes := make([]int64, nBins)
+	for _, e := range r.Events {
+		if e.Kind == Deliver && e.FlowID == flowID {
+			bytes[int((e.T-first)/bin)] += int64(e.Payload)
+		}
+	}
+	pts := make([]Point, nBins)
+	for i, by := range bytes {
+		pts[i] = Point{
+			T: first + sim.Time(i)*bin,
+			V: float64(by) * 8 / bin.Seconds(),
+		}
+	}
+	return pts
+}
+
+// RateTimeline extracts a flow's congestion-control rate over time from
+// Control events (one point per update).
+func (r *Recorder) RateTimeline(flowID int) []Point {
+	var pts []Point
+	for _, e := range r.Events {
+		if e.Kind == Control && e.FlowID == flowID {
+			pts = append(pts, Point{T: e.T, V: e.Rate})
+		}
+	}
+	return pts
+}
+
+// CountByKind tallies recorded events.
+func (r *Recorder) CountByKind() map[Kind]int {
+	m := make(map[Kind]int)
+	for _, e := range r.Events {
+		m[e.Kind]++
+	}
+	return m
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"faircc/internal/cc"
+	"faircc/internal/net"
+	"faircc/internal/sim"
+)
+
+type fixedAlgo struct{ ctl cc.Control }
+
+func (a *fixedAlgo) Name() string                 { return "fixed" }
+func (a *fixedAlgo) Init(cc.Env) cc.Control       { return a.ctl }
+func (a *fixedAlgo) OnAck(cc.Feedback) cc.Control { return a.ctl }
+
+func build(t *testing.T) (*sim.Engine, *net.Network, int, int) {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := net.New(eng, 1)
+	h0, h1 := nw.AddHost(), nw.AddHost()
+	sw := nw.AddSwitch()
+	p0, _ := nw.Connect(sw, h0, 100e9, sim.Microsecond)
+	p1, _ := nw.Connect(sw, h1, 100e9, sim.Microsecond)
+	sw.AddRoute(h0.NodeID(), p0)
+	sw.AddRoute(h1.NodeID(), p1)
+	return eng, nw, h0.NodeID(), h1.NodeID()
+}
+
+func TestRecorderCapturesAllKinds(t *testing.T) {
+	eng, nw, src, dst := build(t)
+	r := Attach(nw, All)
+	nw.AddFlow(net.FlowSpec{ID: 7, Src: src, Dst: dst, Size: 10_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: 100e9}})
+	eng.Run()
+	counts := r.CountByKind()
+	if counts[Send] != 10 {
+		t.Fatalf("sends = %d, want 10", counts[Send])
+	}
+	if counts[Deliver] != 10 {
+		t.Fatalf("delivers = %d, want 10", counts[Deliver])
+	}
+	if counts[Finish] != 1 {
+		t.Fatalf("finishes = %d, want 1", counts[Finish])
+	}
+	// 9 control updates (the final ACK completes instead of updating).
+	if counts[Control] != 9 {
+		t.Fatalf("controls = %d, want 9", counts[Control])
+	}
+	// Send precedes deliver for each seq, times nondecreasing.
+	var last sim.Time
+	for _, e := range r.Events {
+		if e.T < last {
+			t.Fatal("trace not time-ordered")
+		}
+		last = e.T
+	}
+}
+
+func TestKindFiltering(t *testing.T) {
+	eng, nw, src, dst := build(t)
+	r := Attach(nw, Send|Finish)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: src, Dst: dst, Size: 5_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: 100e9}})
+	eng.Run()
+	counts := r.CountByKind()
+	if counts[Deliver] != 0 || counts[Control] != 0 {
+		t.Fatalf("filtered kinds recorded: %v", counts)
+	}
+	if counts[Send] != 5 || counts[Finish] != 1 {
+		t.Fatalf("wanted kinds missing: %v", counts)
+	}
+}
+
+func TestMaxEventsTruncates(t *testing.T) {
+	eng, nw, src, dst := build(t)
+	r := Attach(nw, All)
+	r.MaxEvents = 5
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: src, Dst: dst, Size: 50_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: 100e9}})
+	eng.Run()
+	if len(r.Events) != 5 || !r.Truncated {
+		t.Fatalf("events = %d truncated = %v, want 5 and true", len(r.Events), r.Truncated)
+	}
+}
+
+func TestChainingPreservesExistingHooks(t *testing.T) {
+	eng, nw, src, dst := build(t)
+	userSends := 0
+	nw.Hooks.OnSend = func(*net.Flow, int64, int) { userSends++ }
+	r := Attach(nw, Send)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: src, Dst: dst, Size: 3_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: 100e9}})
+	eng.Run()
+	if userSends != 3 {
+		t.Fatalf("user hook called %d times, want 3", userSends)
+	}
+	if r.CountByKind()[Send] != 3 {
+		t.Fatal("recorder missed events while chaining")
+	}
+}
+
+func TestFlowGoodput(t *testing.T) {
+	eng, nw, src, dst := build(t)
+	r := Attach(nw, Deliver)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: src, Dst: dst, Size: 1_000_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: 50e9}})
+	eng.Run()
+	pts := r.FlowGoodput(1, 10*sim.Microsecond)
+	if len(pts) < 10 {
+		t.Fatalf("too few goodput bins: %d", len(pts))
+	}
+	// Interior bins should be close to the 50G pacing rate (payload
+	// fraction: 1000/1048 of wire rate).
+	want := 50e9 * 1000 / 1048
+	mid := pts[len(pts)/2].V
+	if math.Abs(mid-want) > want*0.05 {
+		t.Fatalf("mid-flow goodput = %v, want ~%v", mid, want)
+	}
+	if r.FlowGoodput(99, sim.Microsecond) != nil {
+		t.Fatal("unknown flow should yield nil timeline")
+	}
+}
+
+func TestRateTimeline(t *testing.T) {
+	eng, nw, src, dst := build(t)
+	r := Attach(nw, Control)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: src, Dst: dst, Size: 20_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: 42e9}})
+	eng.Run()
+	pts := r.RateTimeline(1)
+	if len(pts) == 0 {
+		t.Fatal("no rate points")
+	}
+	for _, p := range pts {
+		if p.V != 42e9 {
+			t.Fatalf("rate = %v, want 42e9", p.V)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	eng, nw, src, dst := build(t)
+	r := Attach(nw, Send)
+	nw.AddFlow(net.FlowSpec{ID: 1, Src: src, Dst: dst, Size: 2_000},
+		&fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: 100e9}})
+	eng.Run()
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 { // header + 2 sends
+		t.Fatalf("CSV lines = %d, want 3: %q", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[1], "0,send,1,0,1000") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+}
+
+func TestGoodputBinValidation(t *testing.T) {
+	r := &Recorder{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive bin")
+		}
+	}()
+	r.FlowGoodput(1, 0)
+}

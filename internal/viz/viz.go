@@ -1,0 +1,135 @@
+// Package viz renders experiment data series as ASCII charts for terminal
+// inspection, so figures can be eyeballed without external plotting
+// tools (`fairsim -plot`).
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Options controls chart geometry and labeling.
+type Options struct {
+	Width  int // plot columns (default 72)
+	Height int // plot rows (default 20)
+	XLabel string
+	YLabel string
+	Title  string
+}
+
+// seriesGlyphs mark points of successive series.
+var seriesGlyphs = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series into w as an ASCII chart with axes, ranges and
+// a legend. Series with no points are skipped; an error is returned only
+// for writer failures.
+func Plot(w io.Writer, opt Options, series ...Series) error {
+	width, height := opt.Width, opt.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			any = true
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if !any {
+		_, err := fmt.Fprintln(w, "(no data)")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := int((s.Y[i] - minY) / (maxY - minY) * float64(height-1))
+			row := height - 1 - r
+			if cell := grid[row][c]; cell == ' ' || cell == glyph {
+				grid[row][c] = glyph
+			} else {
+				grid[row][c] = '?' // overlapping series
+			}
+		}
+	}
+
+	if opt.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", opt.Title); err != nil {
+			return err
+		}
+	}
+	yHi := fmt.Sprintf("%.4g", maxY)
+	yLo := fmt.Sprintf("%.4g", minY)
+	margin := len(yHi)
+	if len(yLo) > margin {
+		margin = len(yLo)
+	}
+	for r := 0; r < height; r++ {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", margin, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", margin, yLo)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[r])); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", margin),
+		strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xLo := fmt.Sprintf("%.4g", minX)
+	xHi := fmt.Sprintf("%.4g", maxX)
+	pad := width - len(xLo) - len(xHi)
+	if pad < 1 {
+		pad = 1
+	}
+	if _, err := fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", margin),
+		xLo, strings.Repeat(" ", pad), xHi); err != nil {
+		return err
+	}
+	if opt.XLabel != "" || opt.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  x: %s   y: %s\n",
+			strings.Repeat(" ", margin), opt.XLabel, opt.YLabel); err != nil {
+			return err
+		}
+	}
+	for si, s := range series {
+		if len(s.X) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s  %c %s\n", strings.Repeat(" ", margin),
+			seriesGlyphs[si%len(seriesGlyphs)], s.Label); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func line(n int) Series {
+	s := Series{Label: "line"}
+	for i := 0; i < n; i++ {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, float64(i)*2)
+	}
+	return s
+}
+
+func TestPlotBasicGeometry(t *testing.T) {
+	var b strings.Builder
+	err := Plot(&b, Options{Width: 40, Height: 10, Title: "T",
+		XLabel: "t", YLabel: "v"}, line(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 rows + axis + x-range + labels + 1 legend
+	if len(lines) != 15 {
+		t.Fatalf("lines = %d, want 15:\n%s", len(lines), out)
+	}
+	if lines[0] != "T" {
+		t.Fatalf("missing title: %q", lines[0])
+	}
+	if !strings.Contains(out, "198") { // max Y = 99*2
+		t.Fatalf("missing y max:\n%s", out)
+	}
+	if !strings.Contains(out, "* line") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// A rising line puts a glyph in the top row (at the right) and the
+	// bottom row (at the left).
+	top, bottom := lines[1], lines[10]
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Fatalf("line endpoints not plotted:\n%s", out)
+	}
+	if strings.Index(bottom, "*") > strings.Index(top, "*") {
+		t.Fatalf("rising line plotted falling:\n%s", out)
+	}
+}
+
+func TestPlotMultipleSeriesGlyphs(t *testing.T) {
+	a := Series{Label: "a", X: []float64{0, 1}, Y: []float64{0, 0}}
+	c := Series{Label: "c", X: []float64{0, 1}, Y: []float64{1, 1}}
+	var b strings.Builder
+	if err := Plot(&b, Options{Width: 20, Height: 5}, a, c); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("distinct glyphs missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ c") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Plot(&b, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no data") {
+		t.Fatalf("empty plot output: %q", b.String())
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	// Degenerate ranges (single point, constant Y) must not divide by
+	// zero or panic.
+	s := Series{Label: "flat", X: []float64{5, 5}, Y: []float64{3, 3}}
+	var b strings.Builder
+	if err := Plot(&b, Options{Width: 10, Height: 4}, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "*") {
+		t.Fatal("constant series not plotted")
+	}
+}
+
+func TestPlotOverlapMarker(t *testing.T) {
+	a := Series{Label: "a", X: []float64{0}, Y: []float64{0}}
+	c := Series{Label: "c", X: []float64{0}, Y: []float64{0}}
+	var b strings.Builder
+	if err := Plot(&b, Options{Width: 10, Height: 4}, a, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "?") {
+		t.Fatalf("overlap not marked:\n%s", b.String())
+	}
+}

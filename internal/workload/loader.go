@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"faircc/internal/stats"
+)
+
+// ParseCDF reads a flow-size distribution in the HPCC-artifact text
+// format: one "<size_bytes> <cumulative_percent>" pair per line, percents
+// in [0,100] ending at 100. Blank lines and lines starting with '#' are
+// ignored. This lets users who have the original WebSearch / FbHdp /
+// AliStorage trace files drop them in instead of the synthetic CDFs.
+func ParseCDF(r io.Reader) (*stats.CDF, error) {
+	var pts []stats.CDFPoint
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("workload: line %d: want \"size percent\", got %q", lineNo, line)
+		}
+		size, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad size: %w", lineNo, err)
+		}
+		pct, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad percent: %w", lineNo, err)
+		}
+		pts = append(pts, stats.CDFPoint{Value: size, Frac: pct / 100})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	cdf, err := stats.NewCDF(pts)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	return cdf, nil
+}
+
+// LoadCDF reads a distribution file (see ParseCDF for the format).
+func LoadCDF(path string) (*stats.CDF, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cdf, err := ParseCDF(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cdf, nil
+}
