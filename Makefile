@@ -1,0 +1,16 @@
+# Convenience wrappers around the Go-native CI gate (cmd/ci), so the same
+# checks run with or without make installed.
+
+.PHONY: verify test bench-baseline
+
+# The verification gate every PR must keep green: build, vet, gofmt, and
+# race-enabled tests of the concurrency-bearing packages.
+verify:
+	go run ./cmd/ci
+
+test:
+	go build ./... && go test ./...
+
+# Record benchmark baselines (BENCH_baseline.json) for perf-PR comparisons.
+bench-baseline:
+	go run ./cmd/ci -bench

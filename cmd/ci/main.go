@@ -1,0 +1,148 @@
+// Command ci is the repository's verification gate, runnable anywhere Go
+// is installed (no make required):
+//
+//	go run ./cmd/ci            # build + vet + gofmt + race tests
+//	go run ./cmd/ci -bench     # additionally write BENCH_baseline.json
+//
+// The race step targets the packages with real concurrency — the sweep
+// runner (internal/par) and the engine it drives (internal/sim) — so the
+// panic-recovery and cancellation paths stay race-clean. The -bench mode
+// records benchmark baselines as JSON so performance PRs can diff
+// events/sec and ns/op against a committed reference point.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		bench    = flag.Bool("bench", false, "run benchmarks and write BENCH_baseline.json")
+		benchPkg = flag.String("bench-pkgs", "./internal/sim", "space-separated packages for -bench")
+		benchOut = flag.String("bench-out", "BENCH_baseline.json", "benchmark baseline output path")
+	)
+	flag.Parse()
+
+	steps := []struct {
+		name string
+		args []string
+	}{
+		{"build", []string{"go", "build", "./..."}},
+		{"vet", []string{"go", "vet", "./..."}},
+		{"gofmt", []string{"gofmt", "-l", "."}},
+		{"race", []string{"go", "test", "-race", "./internal/par", "./internal/sim"}},
+	}
+	failed := 0
+	for _, s := range steps {
+		fmt.Printf("== %s: %s\n", s.name, strings.Join(s.args, " "))
+		out, err := exec.Command(s.args[0], s.args[1:]...).CombinedOutput()
+		text := strings.TrimSpace(string(out))
+		// gofmt -l exits 0 even when files need formatting; any output is
+		// a failure.
+		if err != nil || (s.name == "gofmt" && text != "") {
+			failed++
+			fmt.Printf("FAIL %s\n%s\n", s.name, text)
+			if err != nil {
+				fmt.Println(err)
+			}
+			continue
+		}
+		fmt.Printf("ok   %s\n", s.name)
+	}
+	if failed > 0 {
+		fmt.Printf("\n%d step(s) failed\n", failed)
+		os.Exit(1)
+	}
+	if *bench {
+		if err := writeBenchBaseline(strings.Fields(*benchPkg), *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ci: bench:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("\nall checks passed")
+}
+
+// BenchResult is one parsed `go test -bench` line: the benchmark name, its
+// iteration count, and every reported metric (ns/op, B/op, allocs/op, and
+// any custom ReportMetric units).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchBaseline is the BENCH_baseline.json schema.
+type BenchBaseline struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Packages  []string      `json:"packages"`
+	Results   []BenchResult `json:"results"`
+}
+
+func writeBenchBaseline(pkgs []string, outPath string) error {
+	args := append([]string{"test", "-run", "^$", "-bench", ".", "-benchmem"}, pkgs...)
+	fmt.Printf("== bench: go %s\n", strings.Join(args, " "))
+	out, err := exec.Command("go", args...).CombinedOutput()
+	if err != nil {
+		return fmt.Errorf("%w\n%s", err, out)
+	}
+	base := BenchBaseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Packages:  pkgs,
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		r, ok := parseBenchLine(line)
+		if ok {
+			base.Results = append(base.Results, r)
+		}
+	}
+	if len(base.Results) == 0 {
+		return fmt.Errorf("no benchmark lines parsed from output:\n%s", out)
+	}
+	f, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		f.Close()
+		return err
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", outPath, len(base.Results))
+	return f.Close()
+}
+
+// parseBenchLine parses "BenchmarkX-8  123  456 ns/op  7 B/op ..." lines.
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	r := BenchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return BenchResult{}, false
+	}
+	return r, true
+}

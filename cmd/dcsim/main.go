@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"time"
 
 	"faircc"
 )
@@ -54,15 +55,16 @@ func main() {
 		if vaisf {
 			label += " VAI SF"
 		}
-		recs, stats, err := run(*protocol, vaisf, ftCfg, specs, *seed)
+		recs, rs, err := run(*protocol, vaisf, ftCfg, specs, *seed)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcsim:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("--- %s ---\n", label)
 		report(recs)
-		fmt.Printf("  fabric: %.2f GB switched, deepest queue %d KB\n\n",
-			float64(stats.FabricTxBytes)/1e9, stats.MaxQueuePeak/1000)
+		fmt.Printf("  fabric: %.2f GB switched, deepest queue %d KB\n",
+			float64(rs.net.FabricTxBytes)/1e9, rs.net.MaxQueuePeak/1000)
+		fmt.Printf("  engine: %s\n\n", rs.run)
 	}
 }
 
@@ -112,7 +114,13 @@ func genTraffic(name string, hosts int, load float64, duration faircc.Time, seed
 	return specs, nil
 }
 
-func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec, seed int64) ([]faircc.FlowRecord, faircc.NetworkStats, error) {
+// runOut bundles one simulation's measurement snapshots.
+type runOut struct {
+	net faircc.NetworkStats
+	run faircc.RunStats
+}
+
+func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec, seed int64) ([]faircc.FlowRecord, runOut, error) {
 	eng := faircc.NewEngine()
 	nw := faircc.NewNetwork(eng, seed)
 	faircc.NewFatTree(nw, ftCfg)
@@ -134,13 +142,16 @@ func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc
 		}
 	}
 	if protocol != "hpcc" && protocol != "swift" {
-		return nil, faircc.NetworkStats{}, fmt.Errorf("unknown protocol %q", protocol)
+		return nil, runOut{}, fmt.Errorf("unknown protocol %q", protocol)
 	}
 	for _, spec := range specs {
 		nw.AddFlow(spec, maker())
 	}
+	start := time.Now()
 	eng.Run()
-	return rec.Records, nw.Stats(), nil
+	rs := faircc.CollectRunStats(eng, nw)
+	rs.Finish(time.Since(start))
+	return rec.Records, runOut{net: nw.Stats(), run: rs}, nil
 }
 
 func report(recs []faircc.FlowRecord) {

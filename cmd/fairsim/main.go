@@ -6,10 +6,17 @@
 //	fairsim -list
 //	fairsim -exp fig1a [-scale small|medium|full] [-seed 1] [-out dir]
 //	fairsim -all [-scale medium] [-out results]
+//	fairsim -exp fig10 -progress -manifest [-pprof profiles]
 //
 // Each experiment regenerates one figure of "Fast Convergence to Fairness
 // for Reduced Long Flow Tail Latency in Datacenter Networks" (Snyder &
 // Lebeck, IPDPS 2022); see DESIGN.md for the index.
+//
+// Observability: -progress prints a periodic sim-time / wall-time /
+// events-per-second line per running variant (essential for paper-scale
+// runs, which execute hundreds of millions of events); -manifest emits a
+// JSON run manifest (params, seed, git-describe, RunStats) next to the
+// CSV; -pprof DIR wraps the runs in CPU and heap profiling.
 package main
 
 import (
@@ -17,13 +24,17 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"faircc/internal/exp"
 	"faircc/internal/viz"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	var (
 		list   = flag.Bool("list", false, "list experiment names and exit")
 		name   = flag.String("exp", "", "experiment to run (e.g. fig1a)")
@@ -34,11 +45,21 @@ func main() {
 		work   = flag.Int("workers", 0, "parallel variant runners (0 = GOMAXPROCS)")
 		plot   = flag.Bool("plot", false, "render an ASCII chart of each result")
 		verify = flag.Bool("verify", false, "check the paper's claims against fresh runs and exit")
+
+		progress = flag.Bool("progress", false, "print periodic sim-time/events-per-sec lines for each run (stderr)")
+		every    = flag.Duration("progress-every", time.Second, "target interval between progress lines")
+		manifest = flag.Bool("manifest", false, "write <exp>.manifest.json (params, git-describe, RunStats) next to the CSV")
+		pprofDir = flag.String("pprof", "", "write cpu.pprof and heap.pprof around the runs into this directory")
 	)
 	flag.Parse()
 
+	cfg := exp.Config{Seed: *seed, Workers: *work, Scale: *scale}
+	if *progress {
+		cfg.Progress = printProgress
+		cfg.ProgressEvery = *every
+	}
+
 	if *verify {
-		cfg := exp.Config{Seed: *seed, Workers: *work, Scale: *scale}
 		failed := 0
 		for _, c := range exp.Claims() {
 			ok, detail, err := c.Check(cfg)
@@ -55,10 +76,10 @@ func main() {
 		}
 		if failed > 0 {
 			fmt.Printf("\n%d claim(s) not reproduced\n", failed)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("\nall claims reproduced")
-		return
+		return 0
 	}
 
 	if *list {
@@ -66,10 +87,9 @@ func main() {
 			e, _ := exp.Get(n)
 			fmt.Printf("%-18s %s\n", n, e.Title)
 		}
-		return
+		return 0
 	}
 
-	cfg := exp.Config{Seed: *seed, Workers: *work, Scale: *scale}
 	var names []string
 	switch {
 	case *all:
@@ -79,17 +99,30 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "fairsim: need -exp NAME, -all, or -list")
 		flag.Usage()
-		os.Exit(2)
+		return 2
+	}
+
+	if *pprofDir != "" {
+		stop, err := startProfiles(*pprofDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fairsim: pprof: %v\n", err)
+			return 1
+		}
+		defer stop()
 	}
 
 	for _, n := range names {
 		start := time.Now()
-		res, err := exp.Run(n, cfg)
+		res, stats, err := exp.RunWithStats(n, cfg)
+		wall := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fairsim: %s: %v\n", n, err)
-			os.Exit(1)
+			return 1
 		}
-		fmt.Printf("%s(%s elapsed)\n", res.Summary(), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s(%s elapsed)\n", res.Summary(), wall.Round(time.Millisecond))
+		if stats.Runs > 0 {
+			fmt.Printf("  runstats: %s\n", stats)
+		}
 		if *plot {
 			series := make([]viz.Series, 0, len(res.Series))
 			for _, s := range res.Series {
@@ -98,16 +131,71 @@ func main() {
 			opts := viz.Options{Title: res.Title, XLabel: res.XLabel, YLabel: res.YLabel}
 			if err := viz.Plot(os.Stdout, opts, series...); err != nil {
 				fmt.Fprintf(os.Stderr, "fairsim: plot: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
 		if *out != "" {
 			if err := writeCSV(*out, n, res); err != nil {
 				fmt.Fprintf(os.Stderr, "fairsim: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 		}
+		if *manifest {
+			m := exp.BuildManifest(n, cfg, res, stats, start, wall)
+			path, err := exp.WriteManifest(*out, m)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fairsim: manifest: %v\n", err)
+				return 1
+			}
+			fmt.Printf("  wrote %s\n", path)
+		}
 	}
+	return 0
+}
+
+// printProgress renders one ProgressUpdate as a stderr line. It may be
+// called concurrently by parallel variant runs; each call is a single
+// Fprintf, so lines never interleave mid-line.
+func printProgress(u exp.ProgressUpdate) {
+	state := "running"
+	if u.Done {
+		state = "done"
+	}
+	fmt.Fprintf(os.Stderr, "progress %-24s sim %-10v wall %-8s %8.2fM ev/s  %d events (%s)\n",
+		u.Label, u.SimTime, u.Wall.Round(10*time.Millisecond),
+		u.EventsPerSec/1e6, u.Events, state)
+}
+
+// startProfiles begins CPU profiling into dir/cpu.pprof and returns a stop
+// function that ends it and writes dir/heap.pprof.
+func startProfiles(dir string) (func(), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cpu, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		cpu.Close()
+		heap, err := os.Create(filepath.Join(dir, "heap.pprof"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fairsim: pprof: %v\n", err)
+			return
+		}
+		runtime.GC() // up-to-date allocation stats in the heap profile
+		if err := pprof.Lookup("heap").WriteTo(heap, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "fairsim: pprof: %v\n", err)
+		}
+		heap.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s and %s\n",
+			filepath.Join(dir, "cpu.pprof"), filepath.Join(dir, "heap.pprof"))
+	}, nil
 }
 
 func writeCSV(dir, name string, res *exp.Result) error {

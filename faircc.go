@@ -112,6 +112,19 @@ type (
 	SwitchStats  = net.SwitchStats
 	PortStats    = net.PortStats
 
+	// EngineStats is the engine's lifetime counter snapshot (events
+	// executed/scheduled/cancelled, pending, peak heap).
+	EngineStats = sim.EngineStats
+	// RunStats is the run-level observability record: engine and network
+	// counters plus wall-clock rates and process memory.
+	RunStats = metrics.RunStats
+	// ExperimentProgress is one periodic update from a running experiment
+	// simulation (see ExperimentConfig.Progress).
+	ExperimentProgress = exp.ProgressUpdate
+	// ExperimentManifest is the JSON provenance record fairsim -manifest
+	// emits next to an experiment's CSV.
+	ExperimentManifest = exp.Manifest
+
 	// FluidConfig parameterizes the Sec. IV-B fluid model; FluidPoint is
 	// one integration sample.
 	FluidConfig = fluid.Config
@@ -228,6 +241,20 @@ func StaggeredIncast(senders []int, dst int, size int64, perGroup int, interval,
 // fig13, ablate-*, incast-dcqcn).
 func RunExperiment(name string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	return exp.Run(name, cfg)
+}
+
+// RunExperimentWithStats runs an experiment and also returns the
+// aggregated RunStats of every simulation it executed (events, events/sec,
+// packet counters, wall time, process memory).
+func RunExperimentWithStats(name string, cfg ExperimentConfig) (*ExperimentResult, *RunStats, error) {
+	return exp.RunWithStats(name, cfg)
+}
+
+// CollectRunStats snapshots a finished simulation's engine and network
+// counters as a single-run RunStats; call Finish on the result to derive
+// wall-clock rates.
+func CollectRunStats(eng *Engine, nw *Network) RunStats {
+	return metrics.CollectRun(eng, nw)
 }
 
 // ExperimentNames lists all registered experiments.

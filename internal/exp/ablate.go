@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"fmt"
+
 	"faircc/internal/cc"
 	"faircc/internal/cc/hpcc"
 	"faircc/internal/metrics"
@@ -30,19 +32,23 @@ func sweepExperiment(name, title string, senders int, values []float64,
 		Title: title,
 		Run: func(cfg Config) (*Result, error) {
 			minBDP := starMinBDP(senders)
-			outs := par.Map(len(values), cfg.Workers, func(i int) *incastOut {
-				v := variant{label: name, make: build(minBDP, values[i])}
-				return runIncast(cfg, v, senders, nil)
+			outs, err := par.MapErr(len(values), cfg.Workers, func(i int) (*incastOut, error) {
+				v := variant{label: fmt.Sprintf("%s=%g", name, values[i]), make: build(minBDP, values[i])}
+				o := runIncast(cfg, v, senders, nil)
+				if o.err != nil {
+					return nil, fmt.Errorf("%s: %w", o.label, o.err)
+				}
+				return o, nil
 			})
+			if err != nil {
+				return nil, err
+			}
 			res := &Result{Name: name, Title: title,
 				XLabel: "parameter value", YLabel: "metric"}
 			conv := Series{Label: "convergence to Jain 0.95 (us)"}
 			queue := Series{Label: "max queue (KB)"}
 			finish := Series{Label: "last flow finish (us)"}
 			for i, o := range outs {
-				if o.err != nil {
-					return nil, o.err
-				}
 				conv.Add(values[i], o.convergeUs)
 				queue.Add(values[i], o.maxQueueKB)
 				last := 0.0
@@ -114,8 +120,7 @@ func runNewFlowAblation(cfg Config) (*Result, error) {
 			nw.AddFlow(spec, v.make())
 		}
 		jain := metrics.SampleJain(nw, v.label, 2*sim.Microsecond, 0, horizon)
-		for !nw.AllFinished() && eng.Step() {
-		}
+		runSim(cfg, v.label, eng, nw)
 		out := &incastOut{label: v.label, allFinished: nw.AllFinished()}
 		for _, p := range jain.Points {
 			out.jain.Add(p.T.Microseconds(), p.V)

@@ -63,8 +63,7 @@ func runDC(cfg Config, v variant, ftCfg topo.FatTreeConfig, specs []net.FlowSpec
 	for _, spec := range specs {
 		nw.AddFlow(spec, v.make())
 	}
-	for !nw.AllFinished() && eng.Step() {
-	}
+	runSim(cfg, v.label, eng, nw)
 	if !nw.AllFinished() {
 		return nil, fmt.Errorf("%s: flows did not finish", v.label)
 	}
@@ -113,14 +112,12 @@ func dcFigure(name, title, workloadName string, pct float64) *Experiment {
 			p := dcParams(dcMinBDP(ftCfg), ftCfg.HostBps)
 			vs := dcVariants(p)
 
-			type dcOut struct {
-				records []metrics.FlowRecord
-				err     error
-			}
-			outs := par.Map(len(vs), cfg.Workers, func(i int) dcOut {
-				recs, err := runDC(cfg, vs[i], ftCfg, specs)
-				return dcOut{recs, err}
+			outs, err := par.MapErr(len(vs), cfg.Workers, func(i int) ([]metrics.FlowRecord, error) {
+				return runDC(cfg, vs[i], ftCfg, specs)
 			})
+			if err != nil {
+				return nil, err
+			}
 
 			res := &Result{Name: name, Title: title,
 				XLabel: "flow size (bytes)",
@@ -128,16 +125,13 @@ func dcFigure(name, title, workloadName string, pct float64) *Experiment {
 			res.Notef("scale=%s hosts=%d duration=%v load=%.0f%% flows=%d",
 				cfg.Scale, ftCfg.NumHosts(), duration, dcLoad*100, len(specs))
 			long := map[string]float64{}
-			for i, o := range outs {
-				if o.err != nil {
-					return nil, o.err
-				}
+			for i, records := range outs {
 				s := Series{Label: vs[i].label}
-				for _, b := range metrics.BucketBySize(o.records, 100, pct) {
+				for _, b := range metrics.BucketBySize(records, 100, pct) {
 					s.Add(float64(b.MaxSize), b.Slowdown)
 				}
 				res.Series = append(res.Series, s)
-				if sd, err := metrics.SlowdownAbove(o.records, 1_000_000, pct); err == nil {
+				if sd, err := metrics.SlowdownAbove(records, 1_000_000, pct); err == nil {
 					long[vs[i].label] = sd
 					res.Notef("%s: p%v slowdown of >1MB flows = %.1fx", vs[i].label, pct, sd)
 				}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"faircc/internal/sim"
 )
@@ -28,6 +29,20 @@ type Config struct {
 	// "medium" for the recorded results in EXPERIMENTS.md, "full" for the
 	// paper-scale setup (320 hosts, 50 ms datacenter runs).
 	Scale string
+
+	// Progress, when non-nil, receives periodic updates from every
+	// simulation the experiment runs (roughly once per ProgressEvery of
+	// wall time per run, plus a final Done update). It may be called
+	// concurrently from parallel variant runs and must be safe for that.
+	// Observation never changes results.
+	Progress func(ProgressUpdate)
+	// ProgressEvery is the target wall-time interval between updates
+	// (default 1s).
+	ProgressEvery time.Duration
+
+	// obs accumulates RunStats across the experiment's simulations; set by
+	// RunWithStats.
+	obs *runObserver
 }
 
 // DefaultConfig returns a medium-scale configuration with seed 1.

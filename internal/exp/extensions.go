@@ -93,26 +93,21 @@ func runSwiftHAI(cfg Config) (*Result, error) {
 		{"Swift", swiftBaselines(p)[0].make},
 		swiftHAIVariant(p),
 	}
-	type out struct {
-		records []metrics.FlowRecord
-		err     error
-	}
-	outs := par.Map(len(vs), cfg.Workers, func(i int) out {
-		recs, err := runDC(small, vs[i], ftCfg, specs)
-		return out{recs, err}
+	outs, err := par.MapErr(len(vs), cfg.Workers, func(i int) ([]metrics.FlowRecord, error) {
+		return runDC(small, vs[i], ftCfg, specs)
 	})
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Name: "ablate-swift-hai", Title: "Swift hyper-AI ablation",
 		XLabel: "flow size (bytes)", YLabel: "median FCT slowdown"}
-	for i, o := range outs {
-		if o.err != nil {
-			return nil, o.err
-		}
+	for i, records := range outs {
 		s := Series{Label: vs[i].label}
-		for _, b := range metrics.BucketBySize(o.records, 50, 50) {
+		for _, b := range metrics.BucketBySize(records, 50, 50) {
 			s.Add(float64(b.MaxSize), b.Slowdown)
 		}
 		res.Series = append(res.Series, s)
-		if sd, err := metrics.SlowdownAbove(o.records, 100_000, 50); err == nil {
+		if sd, err := metrics.SlowdownAbove(records, 100_000, 50); err == nil {
 			res.Notef("%s: median slowdown of >100KB flows = %.2fx", vs[i].label, sd)
 		}
 	}

@@ -83,8 +83,7 @@ func runIncast(cfg Config, v variant, senders int, setup func(*net.Network, *top
 	jain := metrics.SampleJain(nw, v.label, jainEvery, 0, horizon)
 	queue := metrics.SampleQueue(eng, st.HostPorts[senders], v.label, sim.Microsecond, 0, horizon)
 
-	for !nw.AllFinished() && eng.Step() {
-	}
+	runSim(cfg, v.label, eng, nw)
 	out.allFinished = nw.AllFinished()
 	out.pfcPauses = nw.Stats().PFCPauses
 	if err := nw.CheckConservation(); err != nil {
@@ -168,24 +167,23 @@ func dcqcnSetup(nw *net.Network, st *topo.Star) {
 	nw.CNPInterval = 50 * sim.Microsecond
 }
 
-// runIncastSet runs all variants in parallel.
+// runIncastSet runs all variants in parallel; the first failing variant
+// cancels the rest of the sweep.
 func runIncastSet(cfg Config, vs []variant, senders int) ([]*incastOut, error) {
-	outs := par.Map(len(vs), cfg.Workers, func(i int) *incastOut {
+	return par.MapErr(len(vs), cfg.Workers, func(i int) (*incastOut, error) {
 		var setup func(*net.Network, *topo.Star)
 		if vs[i].label == "DCQCN" {
 			setup = dcqcnSetup
 		}
-		return runIncast(cfg, vs[i], senders, setup)
-	})
-	for _, o := range outs {
+		o := runIncast(cfg, vs[i], senders, setup)
 		if o.err != nil {
 			return nil, fmt.Errorf("%s: %w", o.label, o.err)
 		}
 		if !o.allFinished {
-			return nil, fmt.Errorf("%s: flows did not finish", o.label)
+			return nil, errNotFinished(o.label)
 		}
-	}
-	return outs, nil
+		return o, nil
+	})
 }
 
 // incastFigure assembles a Jain-index or queue-depth figure over the given

@@ -1,0 +1,96 @@
+package exp
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+	"time"
+
+	"faircc/internal/metrics"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = "small"
+	start := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	res, stats, err := RunWithStats("fig1a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := BuildManifest("fig1a", cfg, res, stats, start, 1500*time.Millisecond)
+	if m.Experiment != "fig1a" || m.Title != res.Title {
+		t.Fatalf("identity fields wrong: %+v", m)
+	}
+	if m.Seed != cfg.Seed || m.Scale != "small" {
+		t.Fatalf("config fields wrong: %+v", m)
+	}
+	if m.GoVersion == "" || m.GOMAXPROCS == 0 {
+		t.Fatalf("toolchain fields empty: %+v", m)
+	}
+	if m.WallSeconds != 1.5 || !m.StartedAt.Equal(start) {
+		t.Fatalf("timing fields wrong: %+v", m)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteManifest(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	if back.Experiment != "fig1a" || back.Stats == nil {
+		t.Fatalf("round trip lost fields: %+v", back)
+	}
+	if back.Stats.Events != stats.Events || back.Stats.Runs != stats.Runs {
+		t.Fatalf("RunStats round trip: got %+v, want %+v", back.Stats, stats)
+	}
+
+	// The JSON schema documented in EXPERIMENTS.md: spot-check stable keys.
+	var keys map[string]any
+	if err := json.Unmarshal(raw, &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"experiment", "seed", "go_version", "started_at", "run_stats"} {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("manifest JSON missing key %q", k)
+		}
+	}
+	rs, ok := keys["run_stats"].(map[string]any)
+	if !ok {
+		t.Fatal("run_stats is not an object")
+	}
+	for _, k := range []string{"runs", "events", "events_per_sec", "data_pkts_sent", "pool_reuse_rate"} {
+		if _, ok := rs[k]; !ok {
+			t.Errorf("run_stats JSON missing key %q", k)
+		}
+	}
+}
+
+func TestRunStatsMetricsInvariants(t *testing.T) {
+	var s metrics.RunStats
+	s.Add(metrics.RunStats{Runs: 1, Events: 100, PeakEventHeap: 10, PoolGets: 100, PoolAllocs: 25})
+	s.Add(metrics.RunStats{Runs: 1, Events: 50, PeakEventHeap: 40, PoolGets: 100, PoolAllocs: 25})
+	if s.Runs != 2 || s.Events != 150 {
+		t.Fatalf("Add summed wrong: %+v", s)
+	}
+	if s.PeakEventHeap != 40 {
+		t.Fatalf("PeakEventHeap = %d, want max 40", s.PeakEventHeap)
+	}
+	s.Finish(3 * time.Second)
+	if s.EventsPerSec != 50 {
+		t.Fatalf("EventsPerSec = %v, want 50", s.EventsPerSec)
+	}
+	if s.PoolReuseRate != 0.75 {
+		t.Fatalf("PoolReuseRate = %v, want 0.75", s.PoolReuseRate)
+	}
+	if s.PeakHeapBytes == 0 {
+		t.Fatal("Finish did not capture process memory")
+	}
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Observability must be a pure read: enabling progress reporting and
+// RunStats collection on a run cannot change any simulation result. The
+// golden incast values are exact, so even a single extra or reordered event
+// would fail this.
+func TestObservabilityDoesNotPerturbResults(t *testing.T) {
+	p := starParams(starMinBDP(16), hostRate)
+	v := hpccVAISF(p)
+
+	bare := runIncast(Config{Seed: 1}, v, 16, nil)
+	if bare.err != nil {
+		t.Fatal(bare.err)
+	}
+
+	var (
+		mu      sync.Mutex
+		updates []ProgressUpdate
+	)
+	obs := &runObserver{}
+	cfg := Config{
+		Seed:          1,
+		ProgressEvery: time.Nanosecond, // report at every amortized check
+		Progress: func(u ProgressUpdate) {
+			mu.Lock()
+			updates = append(updates, u)
+			mu.Unlock()
+		},
+		obs: obs,
+	}
+	observed := runIncast(cfg, v, 16, nil)
+	if observed.err != nil {
+		t.Fatal(observed.err)
+	}
+
+	if observed.convergeUs != bare.convergeUs {
+		t.Errorf("convergeUs perturbed: %v vs %v", observed.convergeUs, bare.convergeUs)
+	}
+	if observed.maxQueueKB != bare.maxQueueKB {
+		t.Errorf("maxQueueKB perturbed: %v vs %v", observed.maxQueueKB, bare.maxQueueKB)
+	}
+	if len(observed.jain.Y) != len(bare.jain.Y) {
+		t.Fatalf("jain series length perturbed: %d vs %d", len(observed.jain.Y), len(bare.jain.Y))
+	}
+	for i := range bare.jain.Y {
+		if observed.jain.Y[i] != bare.jain.Y[i] {
+			t.Fatalf("jain[%d] perturbed: %v vs %v", i, observed.jain.Y[i], bare.jain.Y[i])
+		}
+	}
+	for i := range bare.startFinish.Y {
+		if observed.startFinish.Y[i] != bare.startFinish.Y[i] {
+			t.Fatalf("startFinish[%d] perturbed: %v vs %v",
+				i, observed.startFinish.Y[i], bare.startFinish.Y[i])
+		}
+	}
+
+	if len(updates) == 0 {
+		t.Fatal("no progress updates delivered")
+	}
+	final := updates[len(updates)-1]
+	if !final.Done {
+		t.Error("last progress update not marked Done")
+	}
+	if final.Label != v.label {
+		t.Errorf("progress label = %q, want %q", final.Label, v.label)
+	}
+	if final.Events == 0 || final.SimTime == 0 {
+		t.Errorf("final update has zero events (%d) or sim time (%v)", final.Events, final.SimTime)
+	}
+
+	stats := obs.finish(time.Second)
+	if stats.Runs != 1 {
+		t.Fatalf("observer aggregated %d runs, want 1", stats.Runs)
+	}
+	if stats.Events != final.Events {
+		t.Errorf("RunStats events %d != final progress events %d", stats.Events, final.Events)
+	}
+	if stats.DataSent == 0 || stats.DataDelivered == 0 || stats.AcksSent == 0 {
+		t.Errorf("packet counters empty: sent=%d delivered=%d acks=%d",
+			stats.DataSent, stats.DataDelivered, stats.AcksSent)
+	}
+	if stats.DataDelivered > stats.DataSent {
+		t.Errorf("delivered %d > sent %d", stats.DataDelivered, stats.DataSent)
+	}
+}
+
+// RunWithStats must aggregate every simulation an experiment executes, and
+// the experiment's results must match a plain Run bit for bit.
+func TestRunWithStatsMatchesRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = "small"
+	cfg.Workers = 2
+
+	plain, err := Run("fig1a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := RunWithStats("fig1a", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Series) != len(plain.Series) {
+		t.Fatalf("series count %d vs %d", len(res.Series), len(plain.Series))
+	}
+	for si := range plain.Series {
+		if res.Series[si].Label != plain.Series[si].Label {
+			t.Fatalf("series %d label %q vs %q", si, res.Series[si].Label, plain.Series[si].Label)
+		}
+		for i := range plain.Series[si].Y {
+			if res.Series[si].Y[i] != plain.Series[si].Y[i] {
+				t.Fatalf("series %q point %d: %v vs %v", plain.Series[si].Label, i,
+					res.Series[si].Y[i], plain.Series[si].Y[i])
+			}
+		}
+	}
+
+	// fig1a runs one simulation per HPCC baseline variant.
+	if stats.Runs != len(res.Series) {
+		t.Errorf("stats.Runs = %d, want %d (one per variant)", stats.Runs, len(res.Series))
+	}
+	if stats.Events == 0 || stats.EventsScheduled < stats.Events {
+		t.Errorf("implausible event counts: executed=%d scheduled=%d",
+			stats.Events, stats.EventsScheduled)
+	}
+	if stats.WallSeconds <= 0 || stats.EventsPerSec <= 0 {
+		t.Errorf("Finish not applied: wall=%v rate=%v", stats.WallSeconds, stats.EventsPerSec)
+	}
+	if stats.SimSeconds <= 0 {
+		t.Errorf("SimSeconds = %v, want > 0", stats.SimSeconds)
+	}
+	if stats.PoolGets > 0 && (stats.PoolReuseRate < 0 || stats.PoolReuseRate > 1) {
+		t.Errorf("PoolReuseRate = %v out of [0,1]", stats.PoolReuseRate)
+	}
+}
+
+// Experiments with no packet simulation (the fluid model) report zero runs
+// rather than failing.
+func TestRunWithStatsFluidModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scale = "small"
+	_, stats, err := RunWithStats("fig4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs != 0 {
+		t.Errorf("fluid model reported %d packet runs, want 0", stats.Runs)
+	}
+}

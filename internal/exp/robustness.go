@@ -30,26 +30,22 @@ func runRobustness(cfg Config) (*Result, error) {
 	}
 	p := dcParams(dcMinBDP(ftCfg), ftCfg.HostBps)
 
-	type seedOut struct {
-		imp map[string]float64
-		err error
-	}
-	outs := par.Map(nSeeds, cfg.Workers, func(i int) seedOut {
+	outs, err := par.MapErr(nSeeds, cfg.Workers, func(i int) (map[string]float64, error) {
 		seedCfg := cfg
 		seedCfg.Seed = cfg.Seed + int64(i)
 		specs, err := dcTraffic(seedCfg, ftCfg, duration, "hadoop")
 		if err != nil {
-			return seedOut{err: err}
+			return nil, err
 		}
 		tail := map[string]float64{}
 		for _, v := range dcVariants(p) {
 			recs, err := runDC(seedCfg, v, ftCfg, specs)
 			if err != nil {
-				return seedOut{err: err}
+				return nil, err
 			}
 			sd, err := metrics.SlowdownAbove(recs, 1_000_000, 99.9)
 			if err != nil {
-				return seedOut{err: fmt.Errorf("%s seed %d: %w", v.label, seedCfg.Seed, err)}
+				return nil, fmt.Errorf("%s seed %d: %w", v.label, seedCfg.Seed, err)
 			}
 			tail[v.label] = sd
 		}
@@ -59,8 +55,11 @@ func runRobustness(cfg Config) (*Result, error) {
 				imp[proto] = tail[proto] / tail[proto+" VAI SF"]
 			}
 		}
-		return seedOut{imp: imp}
+		return imp, nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Result{Name: "robustness",
 		Title:  "Long-flow tail improvement across seeds (Hadoop)",
@@ -70,11 +69,8 @@ func runRobustness(cfg Config) (*Result, error) {
 	for _, proto := range []string{"HPCC", "Swift"} {
 		s := Series{Label: proto}
 		var vals []float64
-		for i, o := range outs {
-			if o.err != nil {
-				return nil, o.err
-			}
-			v, ok := o.imp[proto]
+		for i, imp := range outs {
+			v, ok := imp[proto]
 			if !ok {
 				continue
 			}

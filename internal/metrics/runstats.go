@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"faircc/internal/net"
+	"faircc/internal/sim"
+)
+
+// RunStats is the run-level observability snapshot: the engine and network
+// counters of one or more simulations (an experiment typically runs one
+// simulation per protocol variant or seed), plus wall-clock rates and
+// process memory filled in by Finish. It is the record future performance
+// PRs compare against — "measurably faster" means a higher EventsPerSec on
+// the same experiment and scale.
+type RunStats struct {
+	Runs int `json:"runs"` // simulations aggregated into this snapshot
+
+	// Engine counters (summed across runs).
+	Events          uint64 `json:"events"` // events executed
+	EventsScheduled uint64 `json:"events_scheduled"`
+	EventsCancelled uint64 `json:"events_cancelled"`
+	PeakEventHeap   int    `json:"peak_event_heap"` // max over runs
+
+	// Simulated time covered, summed across runs.
+	SimSeconds float64 `json:"sim_seconds"`
+
+	// Network counters (summed across runs).
+	DataSent      int64   `json:"data_pkts_sent"`
+	DataDelivered int64   `json:"data_pkts_delivered"`
+	AcksSent      int64   `json:"acks_sent"`
+	ECNMarks      int64   `json:"ecn_marks"`
+	PFCPauses     int64   `json:"pfc_pauses"`
+	PoolGets      int64   `json:"pool_gets"`
+	PoolAllocs    int64   `json:"pool_allocs"`
+	PoolReuseRate float64 `json:"pool_reuse_rate"`
+
+	// Wall-clock figures, filled in by Finish.
+	WallSeconds  float64 `json:"wall_seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+
+	// Process heap at snapshot time (runtime.MemStats), filled in by
+	// Finish. PeakHeapBytes is HeapSys: the high-water footprint the runs
+	// demanded from the OS.
+	HeapAllocBytes  uint64 `json:"heap_alloc_bytes"`
+	PeakHeapBytes   uint64 `json:"peak_heap_bytes"`
+	TotalAllocBytes uint64 `json:"total_alloc_bytes"`
+	NumGC           uint32 `json:"num_gc"`
+}
+
+// CollectRun snapshots one finished simulation's engine and network
+// counters as a single-run RunStats.
+func CollectRun(eng *sim.Engine, nw *net.Network) RunStats {
+	es := eng.Stats()
+	ns := nw.Stats()
+	return RunStats{
+		Runs:            1,
+		Events:          es.Steps,
+		EventsScheduled: es.Scheduled,
+		EventsCancelled: es.Cancelled,
+		PeakEventHeap:   es.PeakHeap,
+		SimSeconds:      eng.Now().Seconds(),
+		DataSent:        ns.DataSent,
+		DataDelivered:   ns.DataDelivered,
+		AcksSent:        ns.AcksSent,
+		ECNMarks:        ns.ECNMarks,
+		PFCPauses:       ns.PFCPauses,
+		PoolGets:        ns.PoolGets,
+		PoolAllocs:      ns.PoolAllocs,
+	}
+}
+
+// Add merges another snapshot into s (summing counters, taking the max of
+// per-run peaks). Rates are recomputed by Finish.
+func (s *RunStats) Add(o RunStats) {
+	s.Runs += o.Runs
+	s.Events += o.Events
+	s.EventsScheduled += o.EventsScheduled
+	s.EventsCancelled += o.EventsCancelled
+	if o.PeakEventHeap > s.PeakEventHeap {
+		s.PeakEventHeap = o.PeakEventHeap
+	}
+	s.SimSeconds += o.SimSeconds
+	s.DataSent += o.DataSent
+	s.DataDelivered += o.DataDelivered
+	s.AcksSent += o.AcksSent
+	s.ECNMarks += o.ECNMarks
+	s.PFCPauses += o.PFCPauses
+	s.PoolGets += o.PoolGets
+	s.PoolAllocs += o.PoolAllocs
+}
+
+// Finish records the wall-clock duration the runs took, derives the rates,
+// and captures process memory. Call it once, after the last Add.
+func (s *RunStats) Finish(wall time.Duration) {
+	s.WallSeconds = wall.Seconds()
+	if s.WallSeconds > 0 {
+		s.EventsPerSec = float64(s.Events) / s.WallSeconds
+	}
+	if s.PoolGets > 0 {
+		s.PoolReuseRate = 1 - float64(s.PoolAllocs)/float64(s.PoolGets)
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	s.HeapAllocBytes = m.HeapAlloc
+	s.PeakHeapBytes = m.HeapSys
+	s.TotalAllocBytes = m.TotalAlloc
+	s.NumGC = m.NumGC
+}
+
+// String renders the headline numbers for terminal output.
+func (s RunStats) String() string {
+	return fmt.Sprintf(
+		"%d run(s): %d events in %.2fs (%.2fM ev/s), %d data pkts, %d acks, "+
+			"%d ECN marks, %d PFC pauses, pool reuse %.1f%%, peak heap %.1f MB",
+		s.Runs, s.Events, s.WallSeconds, s.EventsPerSec/1e6,
+		s.DataSent, s.AcksSent, s.ECNMarks, s.PFCPauses,
+		100*s.PoolReuseRate, float64(s.PeakHeapBytes)/1e6)
+}

@@ -189,6 +189,7 @@ func (f *Flow) trySend() {
 		p.SentAt = now
 		f.sent += payload
 		f.inflight += payload
+		f.net.dataSent++
 		if h := f.net.Hooks.OnSend; h != nil {
 			h(f, p.Seq, p.Payload)
 		}

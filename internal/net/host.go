@@ -44,6 +44,7 @@ func (h *Host) receiveData(p *Packet) {
 		panic("net: data packet delivered to wrong host")
 	}
 	f.delivered += int64(p.Payload)
+	h.net.dataDelivered++
 	if f.delivered >= f.Spec.Size {
 		f.DeliveredAt = h.net.Eng.Now()
 	}
@@ -69,5 +70,6 @@ func (h *Host) receiveData(p *Packet) {
 		}
 	}
 	h.net.putPacket(p)
+	h.net.acksSent++
 	h.port.send(ack)
 }

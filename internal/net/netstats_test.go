@@ -62,6 +62,44 @@ func TestNetworkStats(t *testing.T) {
 	}
 }
 
+// The run-level packet counters: every data packet a finished run sent was
+// delivered and acknowledged, and the packet pool actually recycles.
+func TestPacketCounters(t *testing.T) {
+	eng, nw, _ := star(t, 3, 1)
+	a1 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	a2 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	nw.AddFlow(FlowSpec{ID: 1, Src: 1, Dst: 0, Size: 100_000}, a1)
+	nw.AddFlow(FlowSpec{ID: 2, Src: 2, Dst: 0, Size: 100_000}, a2)
+	eng.Run()
+
+	st := nw.Stats()
+	if st.DataSent == 0 {
+		t.Fatal("no data packets counted")
+	}
+	// Lossless fabric, fully drained: every data packet arrived and was
+	// acked one-for-one.
+	if st.DataDelivered != st.DataSent {
+		t.Fatalf("delivered %d != sent %d on a drained lossless run", st.DataDelivered, st.DataSent)
+	}
+	if st.AcksSent != st.DataDelivered {
+		t.Fatalf("acks %d != deliveries %d", st.AcksSent, st.DataDelivered)
+	}
+	if st.PoolGets < st.DataSent {
+		t.Fatalf("pool gets %d < data packets %d; sends bypassed the pool", st.PoolGets, st.DataSent)
+	}
+	if st.PoolAllocs > st.PoolGets {
+		t.Fatalf("pool allocs %d > gets %d", st.PoolAllocs, st.PoolGets)
+	}
+	// 200 KB in 1000-byte packets cycles far more packets than can be live
+	// at once, so the pool must have reused some.
+	if r := st.PoolReuseRate(); r <= 0 || r >= 1 {
+		t.Fatalf("pool reuse rate = %v, want in (0,1)", r)
+	}
+	if st.ECNMarks != 0 {
+		t.Fatalf("ECN marks = %d with no RED config", st.ECNMarks)
+	}
+}
+
 func TestPFCPauseCounter(t *testing.T) {
 	eng, nw, _ := star(t, 3, 1)
 	nw.PFCPauseBytes = 20_000

@@ -113,6 +113,7 @@ func (pt *Port) markECN(p *Packet) {
 	}
 	if pt.net.rand.Float64() < prob {
 		p.ECN = true
+		pt.net.ecnMarks++
 	}
 }
 

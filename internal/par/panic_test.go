@@ -1,0 +1,178 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A worker panic must surface as exactly one re-panic from the caller's
+// goroutine — annotated with the failing index and stack — after every
+// in-flight run has drained (no deadlock, no leaked goroutines, no bare
+// goroutine traceback killing the process).
+func TestForEachPanicSurfaces(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			finished := make(chan struct{})
+			go func() {
+				defer close(finished)
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Error("panic did not propagate to the caller")
+						return
+					}
+					pe, ok := r.(*PanicError)
+					if !ok {
+						t.Errorf("recovered %T, want *PanicError", r)
+						return
+					}
+					if pe.Index != 13 {
+						t.Errorf("PanicError.Index = %d, want 13", pe.Index)
+					}
+					if pe.Value != "boom" {
+						t.Errorf("PanicError.Value = %v, want boom", pe.Value)
+					}
+					if !strings.Contains(pe.Error(), "run 13 panicked") {
+						t.Errorf("error message %q missing run index", pe.Error())
+					}
+					if len(pe.Stack) == 0 {
+						t.Error("PanicError.Stack is empty")
+					}
+				}()
+				ForEach(50, workers, func(i int) {
+					if i == 13 {
+						panic("boom")
+					}
+				})
+			}()
+			select {
+			case <-finished:
+			case <-time.After(30 * time.Second):
+				t.Fatal("ForEach deadlocked after a worker panic")
+			}
+		})
+	}
+}
+
+func TestForEachErrAnnotatesError(t *testing.T) {
+	sentinel := errors.New("sim exploded")
+	err := ForEachErr(20, 4, func(i int) error {
+		if i == 7 {
+			return sentinel
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error was swallowed")
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("errors.Is lost the cause: %v", err)
+	}
+	if !strings.Contains(err.Error(), "run 7") {
+		t.Errorf("error %q missing run index", err)
+	}
+}
+
+func TestForEachErrRecoversPanicAsError(t *testing.T) {
+	err := ForEachErr(20, 4, func(i int) error {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 3 || pe.Value != "kaboom" {
+		t.Fatalf("PanicError = {Index:%d Value:%v}", pe.Index, pe.Value)
+	}
+}
+
+// The first failure must stop the dispatch of remaining runs: an erroring
+// sweep should not execute all n runs before reporting.
+func TestForEachErrCancelsDispatch(t *testing.T) {
+	// Serial case is exact: the error at index 0 means exactly one run.
+	var serial int64
+	err := ForEachErr(10000, 1, func(i int) error {
+		atomic.AddInt64(&serial, 1)
+		return errors.New("stop")
+	})
+	if err == nil || serial != 1 {
+		t.Fatalf("serial: ran %d runs (err=%v), want exactly 1", serial, err)
+	}
+
+	// Parallel case: runs already dispatched may complete, but the vast
+	// majority of the 10000 must never start.
+	var parallel int64
+	err = ForEachErr(10000, 4, func(i int) error {
+		atomic.AddInt64(&parallel, 1)
+		if i == 0 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("parallel: error was swallowed")
+	}
+	if n := atomic.LoadInt64(&parallel); n > 1000 {
+		t.Errorf("parallel: %d runs executed after early failure; cancellation is not working", n)
+	}
+}
+
+func TestMapErrPartialResults(t *testing.T) {
+	out, err := MapErr(8, 1, func(i int) (int, error) {
+		if i == 4 {
+			return 0, errors.New("stop")
+		}
+		return i * 10, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "run 4") {
+		t.Fatalf("err = %v, want annotated run 4 error", err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("len(out) = %d, want 8 (zero-filled)", len(out))
+	}
+	for i := 0; i < 4; i++ {
+		if out[i] != i*10 {
+			t.Errorf("out[%d] = %d, want %d (completed runs keep results)", i, out[i], i*10)
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if out[i] != 0 {
+			t.Errorf("out[%d] = %d, want 0 (unfinished slot)", i, out[i])
+		}
+	}
+}
+
+func TestMapErrSuccess(t *testing.T) {
+	out, err := MapErr(50, 8, func(i int) (string, error) {
+		return fmt.Sprint(i), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != fmt.Sprint(i) {
+			t.Fatalf("out[%d] = %q", i, v)
+		}
+	}
+}
+
+// Concurrent failures from several workers must still produce exactly one
+// error and a clean shutdown (exercised heavily under -race).
+func TestForEachErrManyConcurrentFailures(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		err := ForEachErr(64, 8, func(i int) error {
+			return fmt.Errorf("fail %d", i)
+		})
+		if err == nil {
+			t.Fatal("no error returned when every run failed")
+		}
+	}
+}

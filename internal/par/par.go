@@ -2,18 +2,66 @@
 // simulations concurrently. Each simulation is single-threaded and
 // deterministic; parallelism exists only across runs (parameter sweeps,
 // protocol variants), so results are identical regardless of worker count.
+//
+// Workers are hardened for long sweeps: a panic inside one run is
+// recovered and annotated with the run index instead of killing the whole
+// process with a bare goroutine traceback, and the first failure cancels
+// the dispatch of remaining runs (in-flight runs complete) so a sweep
+// stops cleanly rather than burning hours on results that will be thrown
+// away.
 package par
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
+// PanicError is a worker panic recovered by ForEachErr/MapErr (and
+// re-panicked by ForEach/Map): the run index that failed, the original
+// panic value, and the worker's stack at the point of the panic.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (p *PanicError) Error() string {
+	return fmt.Sprintf("par: run %d panicked: %v\n%s", p.Index, p.Value, p.Stack)
+}
+
 // ForEach runs fn(i) for i in [0, n) on up to workers goroutines
-// (workers <= 0 means GOMAXPROCS). It returns when all calls finish.
+// (workers <= 0 means GOMAXPROCS). It returns when all calls finish. If a
+// call panics, ForEach stops dispatching further indices, waits for
+// in-flight calls, and re-panics exactly once — from the caller's
+// goroutine, with a *PanicError carrying the failing index and the
+// original stack.
 func ForEach(n, workers int, fn func(i int)) {
+	err := ForEachErr(n, workers, func(i int) error {
+		fn(i)
+		return nil
+	})
+	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) {
+			panic(pe)
+		}
+		panic(err) // unreachable: the wrapped fn never returns an error
+	}
+}
+
+// ForEachErr runs fn(i) for i in [0, n) on up to workers goroutines
+// (workers <= 0 means GOMAXPROCS) and returns the first failure observed,
+// or nil. Errors returned by fn are wrapped with the run index; panics are
+// recovered into *PanicError. The first failure cancels dispatch of
+// remaining indices (runs already started complete normally), and
+// ForEachErr always waits for every started run before returning — a
+// failing sweep can never deadlock or leak workers.
+func ForEachErr(n, workers int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -21,34 +69,85 @@ func ForEach(n, workers int, fn func(i int)) {
 	if workers > n {
 		workers = n
 	}
+	call := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		if err := fn(i); err != nil {
+			return fmt.Errorf("par: run %d: %w", i, err)
+		}
+		return nil
+	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := call(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	var (
+		wg    sync.WaitGroup
+		next  = make(chan int)
+		done  = make(chan struct{})
+		once  sync.Once
+		first error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			first = err
+			close(done)
+		})
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				if err := call(i); err != nil {
+					fail(err)
+				}
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return first
 }
 
 // Map applies fn to each index in parallel and collects the results in
-// order.
+// order. A panicking fn re-panics once from the caller's goroutine, as
+// with ForEach.
 func Map[T any](n, workers int, fn func(i int) T) []T {
 	out := make([]T, n)
 	ForEach(n, workers, func(i int) { out[i] = fn(i) })
 	return out
+}
+
+// MapErr applies fn to each index in parallel, collecting results in
+// order, with ForEachErr's failure semantics: the first error (or
+// recovered panic) is returned, annotated with its run index, and cancels
+// the dispatch of remaining indices. On error the returned slice holds the
+// results of the runs that completed; unfinished slots are zero values.
+func MapErr[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEachErr(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	return out, err
 }

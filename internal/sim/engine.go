@@ -51,12 +51,15 @@ func (h *eventHeap) Pop() any {
 // Engine is a discrete-event simulation scheduler. The zero value is not
 // ready to use; create one with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	free    []*Event // recycled Event structs
-	stopped bool
-	steps   uint64
+	now       Time
+	seq       uint64
+	events    eventHeap
+	free      []*Event // recycled Event structs
+	stopped   bool
+	steps     uint64
+	live      int    // scheduled, not yet executed or cancelled
+	cancelled uint64 // events cancelled over the engine's lifetime
+	peakHeap  int    // high-water mark of len(events)
 }
 
 // NewEngine returns an engine with the clock at time zero.
@@ -71,15 +74,31 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of scheduled (not yet executed or cancelled)
-// events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.events {
-		if !ev.cancelled {
-			n++
-		}
+// events. It is O(1): cancelled events leave the heap immediately, and the
+// live count is maintained incrementally, so samplers may call it per
+// sample point.
+func (e *Engine) Pending() int { return e.live }
+
+// EngineStats is a snapshot of the engine's lifetime counters, the
+// simulation half of a run's observability record.
+type EngineStats struct {
+	Steps     uint64 `json:"events_executed"`
+	Scheduled uint64 `json:"events_scheduled"`
+	Cancelled uint64 `json:"events_cancelled"`
+	Pending   int    `json:"events_pending"`
+	PeakHeap  int    `json:"peak_event_heap"`
+}
+
+// Stats snapshots the engine counters. Reading them never perturbs the
+// simulation.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		Steps:     e.steps,
+		Scheduled: e.seq,
+		Cancelled: e.cancelled,
+		Pending:   e.live,
+		PeakHeap:  e.peakHeap,
 	}
-	return n
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
@@ -100,7 +119,11 @@ func (e *Engine) At(t Time, fn func()) *Event {
 	ev.seq = e.seq
 	ev.fn = fn
 	e.seq++
+	e.live++
 	heap.Push(&e.events, ev)
+	if len(e.events) > e.peakHeap {
+		e.peakHeap = len(e.events)
+	}
 	return ev
 }
 
@@ -109,33 +132,36 @@ func (e *Engine) After(d Time, fn func()) *Event {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a scheduled event. Cancelling an already-executed or
-// already-cancelled event is a no-op.
+// Cancel removes a scheduled event from the heap immediately and recycles
+// its storage, so cancel-heavy workloads (retransmit and pacing timers) do
+// not grow the heap with corpses that slow every subsequent push.
+// Cancelling an already-executed or already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
 	if ev == nil || ev.cancelled || ev.index < 0 {
 		return
 	}
 	ev.cancelled = true
-	ev.fn = nil
+	e.live--
+	e.cancelled++
+	heap.Remove(&e.events, ev.index) // sets ev.index = -1 via Pop
+	e.recycle(ev)
 }
 
 // Step executes the next event. It reports whether an event was executed;
-// false means the queue is empty.
+// false means the queue is empty. Cancelled events are removed eagerly by
+// Cancel, so everything in the heap is runnable.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
-		if ev.cancelled {
-			e.recycle(ev)
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		e.recycle(ev)
-		e.steps++
-		fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.events).(*Event)
+	e.now = ev.at
+	fn := ev.fn
+	e.recycle(ev)
+	e.live--
+	e.steps++
+	fn()
+	return true
 }
 
 func (e *Engine) recycle(ev *Event) {
@@ -160,13 +186,7 @@ func (e *Engine) Run() {
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
 	for !e.stopped && len(e.events) > 0 {
-		next := e.events[0]
-		if next.cancelled {
-			heap.Pop(&e.events)
-			e.recycle(next)
-			continue
-		}
-		if next.at > t {
+		if e.events[0].at > t {
 			break
 		}
 		e.Step()

@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Cancel-heavy workloads (retransmit timers, pacing timers) must not grow
+// the heap with cancelled corpses: Cancel removes the event immediately, so
+// the heap length always equals the live count.
+func TestEngineCancelChurnBoundedHeap(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(42))
+	const live = 64 // timers outstanding at any moment
+	pending := make([]*Event, 0, live)
+	for round := 0; round < 10000; round++ {
+		ev := e.After(Time(r.Intn(1000)+1), func() {})
+		pending = append(pending, ev)
+		// Cancel a random outstanding timer most rounds, mimicking a
+		// retransmit timer rescheduled on every ACK.
+		if len(pending) > live {
+			i := r.Intn(len(pending))
+			e.Cancel(pending[i])
+			pending[i] = pending[len(pending)-1]
+			pending = pending[:len(pending)-1]
+		}
+		if len(e.events) != e.Pending() {
+			t.Fatalf("round %d: heap holds %d events but Pending() = %d (cancelled corpse left behind)",
+				round, len(e.events), e.Pending())
+		}
+		if len(e.events) > live+1 {
+			t.Fatalf("round %d: heap grew to %d with only %d live timers", round, len(e.events), live+1)
+		}
+	}
+	if e.Stats().Cancelled == 0 {
+		t.Fatal("churn cancelled nothing; test is vacuous")
+	}
+	e.Run()
+	if e.Pending() != 0 || len(e.events) != 0 {
+		t.Fatalf("after Run: pending=%d heap=%d, want 0/0", e.Pending(), len(e.events))
+	}
+}
+
+// Pending must stay consistent with the heap through interleaved schedule,
+// cancel, and execution — it is maintained incrementally, not recounted.
+func TestEnginePendingTracksHeapThroughExecution(t *testing.T) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(7))
+	var outstanding []*Event
+	check := func(when string) {
+		if e.Pending() != len(e.events) {
+			t.Fatalf("%s: Pending()=%d, heap=%d", when, e.Pending(), len(e.events))
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		switch r.Intn(3) {
+		case 0:
+			outstanding = append(outstanding, e.After(Time(r.Intn(100)+1), func() {}))
+		case 1:
+			if len(outstanding) > 0 {
+				j := r.Intn(len(outstanding))
+				e.Cancel(outstanding[j])
+				e.Cancel(outstanding[j]) // idempotent
+				outstanding = append(outstanding[:j], outstanding[j+1:]...)
+			}
+		case 2:
+			e.Step()
+		}
+		check("after op")
+	}
+}
+
+func TestEngineStatsCounts(t *testing.T) {
+	e := NewEngine()
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, e.At(Time(i+1), func() {}))
+	}
+	e.Cancel(evs[3])
+	e.Cancel(evs[7])
+	e.Cancel(evs[7]) // double-cancel must not double-count
+	e.Run()
+
+	st := e.Stats()
+	if st.Scheduled != 10 {
+		t.Errorf("Scheduled = %d, want 10", st.Scheduled)
+	}
+	if st.Cancelled != 2 {
+		t.Errorf("Cancelled = %d, want 2", st.Cancelled)
+	}
+	if st.Steps != 8 {
+		t.Errorf("Steps = %d, want 8", st.Steps)
+	}
+	if st.Pending != 0 {
+		t.Errorf("Pending = %d, want 0", st.Pending)
+	}
+	if st.PeakHeap != 10 {
+		t.Errorf("PeakHeap = %d, want 10", st.PeakHeap)
+	}
+}
