@@ -1,16 +1,27 @@
 # Convenience wrappers around the Go-native CI gate (cmd/ci), so the same
 # checks run with or without make installed.
 
-.PHONY: verify test bench-baseline
+.PHONY: verify test bench bench-baseline bench-compare
 
-# The verification gate every PR must keep green: build, vet, gofmt, and
-# race-enabled tests of the concurrency-bearing packages.
+# The verification gate every PR must keep green: build, vet, gofmt,
+# race-enabled tests of the concurrency-bearing packages, and a 1-iteration
+# smoke run of the scheduler benchmarks.
 verify:
 	go run ./cmd/ci
 
 test:
 	go build ./... && go test ./...
 
-# Record benchmark baselines (BENCH_baseline.json) for perf-PR comparisons.
+# Run the scheduler microbenchmarks and the end-to-end simulation benches.
+bench:
+	go test -run '^$$' -bench 'BenchmarkEngine|BenchmarkIncastSmall' -benchmem ./internal/sim .
+
+# Record a benchmark baseline (BENCH_baseline.json): microbenches plus a
+# timed fig10-medium experiment run.
 bench-baseline:
 	go run ./cmd/ci -bench
+
+# Re-measure and gate against the committed baseline; non-zero exit when
+# events/sec regresses (or allocs/op grows) by more than 5%.
+bench-compare:
+	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_baseline.json

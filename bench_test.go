@@ -205,6 +205,31 @@ func BenchmarkIncast16HPCCVAISF(b *testing.B) {
 	}
 }
 
+// BenchmarkIncastSmall is the end-to-end scheduler bench: a full 32-1
+// staggered HPCC incast per iteration, reporting aggregate events/sec —
+// the same metric the fig10 experiment baseline records, on a workload
+// small enough for the CI bench gate.
+func BenchmarkIncastSmall(b *testing.B) {
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		eng := faircc.NewEngine()
+		nw := faircc.NewNetwork(eng, 1)
+		star := faircc.NewStar(nw, 33, 100e9, faircc.Microsecond)
+		srcs := make([]int, 32)
+		for j := range srcs {
+			srcs[j] = star.Hosts[j].NodeID()
+		}
+		for _, spec := range faircc.StaggeredIncast(srcs, star.Hosts[32].NodeID(),
+			1<<20, 4, 20*faircc.Microsecond, 0) {
+			nw.AddFlow(spec, faircc.NewHPCC())
+		}
+		eng.Run()
+		events += eng.Stats().Steps
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+}
+
 // BenchmarkFatTreeTraffic measures datacenter simulation throughput: a
 // small fat-tree at 50% Hadoop load for 200 us of simulated time.
 func BenchmarkFatTreeTraffic(b *testing.B) {

@@ -1,14 +1,26 @@
 // Command ci is the repository's verification gate, runnable anywhere Go
 // is installed (no make required):
 //
-//	go run ./cmd/ci            # build + vet + gofmt + race tests
-//	go run ./cmd/ci -bench     # additionally write BENCH_baseline.json
+//	go run ./cmd/ci                                    # build + vet + gofmt + race + bench smoke
+//	go run ./cmd/ci -bench                             # also record BENCH_baseline.json
+//	go run ./cmd/ci -bench -bench-out BENCH_pr.json \
+//	    -bench-compare BENCH_baseline.json             # record and gate against a baseline
 //
 // The race step targets the packages with real concurrency — the sweep
 // runner (internal/par) and the engine it drives (internal/sim) — so the
-// panic-recovery and cancellation paths stay race-clean. The -bench mode
-// records benchmark baselines as JSON so performance PRs can diff
-// events/sec and ns/op against a committed reference point.
+// panic-recovery and cancellation paths stay race-clean. The bench-smoke
+// step runs every scheduler benchmark for exactly one iteration, so a
+// benchmark that panics or trips its own invariant checks fails the
+// default gate without paying measurement time.
+//
+// The -bench mode records microbenchmark results plus one timed fig10
+// experiment run (events, wall seconds, events/sec) as JSON. With
+// -bench-compare it then diffs the fresh numbers against a committed
+// baseline and exits non-zero when events/sec regresses — or allocs/op
+// grows — by more than -bench-threshold. ns/op changes are reported but
+// not gated: they swing with machine load, while events/sec on the same
+// experiment and allocations per op are the two numbers performance PRs
+// commit to.
 package main
 
 import (
@@ -20,13 +32,21 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
+
+	"faircc/internal/exp"
 )
 
 func main() {
 	var (
-		bench    = flag.Bool("bench", false, "run benchmarks and write BENCH_baseline.json")
-		benchPkg = flag.String("bench-pkgs", "./internal/sim", "space-separated packages for -bench")
-		benchOut = flag.String("bench-out", "BENCH_baseline.json", "benchmark baseline output path")
+		bench     = flag.Bool("bench", false, "run benchmarks + a timed experiment and write a BENCH JSON")
+		benchPkg  = flag.String("bench-pkgs", "./internal/sim", "space-separated packages for -bench")
+		benchOut  = flag.String("bench-out", "BENCH_baseline.json", "benchmark JSON output path")
+		benchExp  = flag.String("bench-exp", "fig10", "experiment for the timed end-to-end run")
+		benchScl  = flag.String("bench-scale", "medium", "scale for the timed experiment run")
+		benchSeed = flag.Int64("bench-seed", 1, "seed for the timed experiment run")
+		compare   = flag.String("bench-compare", "", "baseline JSON to gate the fresh -bench numbers against")
+		threshold = flag.Float64("bench-threshold", 0.05, "allowed fractional regression before the gate fails")
 	)
 	flag.Parse()
 
@@ -38,6 +58,7 @@ func main() {
 		{"vet", []string{"go", "vet", "./..."}},
 		{"gofmt", []string{"gofmt", "-l", "."}},
 		{"race", []string{"go", "test", "-race", "./internal/par", "./internal/sim"}},
+		{"bench-smoke", []string{"go", "test", "-run", "^$", "-bench", ".", "-benchtime", "1x", "./internal/sim"}},
 	}
 	failed := 0
 	for _, s := range steps {
@@ -61,9 +82,27 @@ func main() {
 		os.Exit(1)
 	}
 	if *bench {
-		if err := writeBenchBaseline(strings.Fields(*benchPkg), *benchOut); err != nil {
+		cur, err := runBench(strings.Fields(*benchPkg), *benchExp, *benchScl, *benchSeed)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "ci: bench:", err)
 			os.Exit(1)
+		}
+		if err := writeJSON(*benchOut, cur); err != nil {
+			fmt.Fprintln(os.Stderr, "ci: bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", *benchOut, len(cur.Results))
+		if *compare != "" {
+			base, err := readBaseline(*compare)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ci: bench-compare:", err)
+				os.Exit(1)
+			}
+			if regressions := compareBaselines(base, cur, *threshold); regressions > 0 {
+				fmt.Printf("\n%d benchmark regression(s) beyond %.0f%%\n", regressions, *threshold*100)
+				os.Exit(1)
+			}
+			fmt.Println("bench gate passed")
 		}
 	}
 	fmt.Println("\nall checks passed")
@@ -78,23 +117,36 @@ type BenchResult struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// BenchBaseline is the BENCH_baseline.json schema.
-type BenchBaseline struct {
-	GoVersion string        `json:"go_version"`
-	GOOS      string        `json:"goos"`
-	GOARCH    string        `json:"goarch"`
-	Packages  []string      `json:"packages"`
-	Results   []BenchResult `json:"results"`
+// ExpBench is the timed end-to-end experiment run: the same events/sec
+// figure fairsim -manifest records, captured under bench conditions.
+type ExpBench struct {
+	Name            string  `json:"name"`
+	Scale           string  `json:"scale"`
+	Seed            int64   `json:"seed"`
+	Events          uint64  `json:"events"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	EventSlotAllocs uint64  `json:"event_slot_allocs"`
 }
 
-func writeBenchBaseline(pkgs []string, outPath string) error {
+// BenchBaseline is the BENCH_*.json schema.
+type BenchBaseline struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	Packages   []string      `json:"packages"`
+	Results    []BenchResult `json:"results"`
+	Experiment *ExpBench     `json:"experiment,omitempty"`
+}
+
+func runBench(pkgs []string, expName, scale string, seed int64) (*BenchBaseline, error) {
 	args := append([]string{"test", "-run", "^$", "-bench", ".", "-benchmem"}, pkgs...)
 	fmt.Printf("== bench: go %s\n", strings.Join(args, " "))
 	out, err := exec.Command("go", args...).CombinedOutput()
 	if err != nil {
-		return fmt.Errorf("%w\n%s", err, out)
+		return nil, fmt.Errorf("%w\n%s", err, out)
 	}
-	base := BenchBaseline{
+	base := &BenchBaseline{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -107,20 +159,124 @@ func writeBenchBaseline(pkgs []string, outPath string) error {
 		}
 	}
 	if len(base.Results) == 0 {
-		return fmt.Errorf("no benchmark lines parsed from output:\n%s", out)
+		return nil, fmt.Errorf("no benchmark lines parsed from output:\n%s", out)
 	}
-	f, err := os.Create(outPath)
+	eb, err := runExpBench(expName, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	base.Experiment = eb
+	return base, nil
+}
+
+// runExpBench times one full experiment in-process and reports the
+// engine-level throughput the microbenchmarks cannot see.
+func runExpBench(name, scale string, seed int64) (*ExpBench, error) {
+	fmt.Printf("== bench-exp: %s scale=%s seed=%d\n", name, scale, seed)
+	cfg := exp.DefaultConfig()
+	cfg.Scale = scale
+	cfg.Seed = seed
+	start := time.Now()
+	_, rs, err := exp.RunWithStats(name, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment %s: %w", name, err)
+	}
+	wall := time.Since(start)
+	eb := &ExpBench{
+		Name: name, Scale: scale, Seed: seed,
+		Events:          rs.Events,
+		WallSeconds:     wall.Seconds(),
+		EventsPerSec:    float64(rs.Events) / wall.Seconds(),
+		EventSlotAllocs: rs.EventSlotAllocs,
+	}
+	fmt.Printf("   %d events in %.2fs (%.2fM ev/s), %d event slot allocs\n",
+		eb.Events, eb.WallSeconds, eb.EventsPerSec/1e6, eb.EventSlotAllocs)
+	return eb, nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(base); err != nil {
+	if err := enc.Encode(v); err != nil {
 		f.Close()
 		return err
 	}
-	fmt.Printf("wrote %s (%d benchmarks)\n", outPath, len(base.Results))
 	return f.Close()
+}
+
+func readBaseline(path string) (*BenchBaseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b BenchBaseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// compareBaselines gates cur against base and returns the number of
+// regressions beyond threshold. Gated metrics: every "events/sec"
+// (higher is better) and "allocs/op" (lower is better), plus the
+// experiment's events/sec. ns/op deltas are printed as context only.
+func compareBaselines(base, cur *BenchBaseline, threshold float64) int {
+	curByName := map[string]BenchResult{}
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	regressions := 0
+	for _, b := range base.Results {
+		c, ok := curByName[b.Name]
+		if !ok {
+			fmt.Printf("gate %-40s MISSING from current run\n", b.Name)
+			regressions++
+			continue
+		}
+		for metric, bv := range b.Metrics {
+			cv, ok := c.Metrics[metric]
+			if !ok {
+				continue
+			}
+			switch metric {
+			case "events/sec":
+				if cv < bv*(1-threshold) {
+					fmt.Printf("gate %-40s %s %.3g -> %.3g (-%.1f%%) REGRESSED\n",
+						b.Name, metric, bv, cv, 100*(1-cv/bv))
+					regressions++
+				} else {
+					fmt.Printf("gate %-40s %s %.3g -> %.3g ok\n", b.Name, metric, bv, cv)
+				}
+			case "allocs/op":
+				if cv > bv*(1+threshold)+0.5 {
+					fmt.Printf("gate %-40s %s %.3g -> %.3g REGRESSED\n", b.Name, metric, bv, cv)
+					regressions++
+				} else {
+					fmt.Printf("gate %-40s %s %.3g -> %.3g ok\n", b.Name, metric, bv, cv)
+				}
+			case "ns/op":
+				fmt.Printf("info %-40s %s %.4g -> %.4g (not gated)\n", b.Name, metric, bv, cv)
+			}
+		}
+	}
+	if base.Experiment != nil && cur.Experiment != nil &&
+		base.Experiment.Name == cur.Experiment.Name &&
+		base.Experiment.Scale == cur.Experiment.Scale {
+		bv, cv := base.Experiment.EventsPerSec, cur.Experiment.EventsPerSec
+		if cv < bv*(1-threshold) {
+			fmt.Printf("gate experiment %s/%s events/sec %.3g -> %.3g (-%.1f%%) REGRESSED\n",
+				base.Experiment.Name, base.Experiment.Scale, bv, cv, 100*(1-cv/bv))
+			regressions++
+		} else {
+			fmt.Printf("gate experiment %s/%s events/sec %.3g -> %.3g (%+.1f%%) ok\n",
+				base.Experiment.Name, base.Experiment.Scale, bv, cv, 100*(cv/bv-1))
+		}
+	}
+	return regressions
 }
 
 // parseBenchLine parses "BenchmarkX-8  123  456 ns/op  7 B/op ..." lines.

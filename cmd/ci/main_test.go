@@ -1,0 +1,64 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkEngineSteadyState \t43182056\t        59.12 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line did not parse")
+	}
+	if r.Name != "BenchmarkEngineSteadyState" || r.Iterations != 43182056 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 59.12 || r.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics %+v", r.Metrics)
+	}
+	if _, ok := parseBenchLine("goos: linux"); ok {
+		t.Fatal("non-bench line parsed")
+	}
+	if _, ok := parseBenchLine("BenchmarkX but no number"); ok {
+		t.Fatal("malformed line parsed")
+	}
+}
+
+func TestCompareBaselinesGatesEventsPerSec(t *testing.T) {
+	mk := func(evps, allocs float64, expEvps float64) *BenchBaseline {
+		return &BenchBaseline{
+			Results: []BenchResult{{
+				Name:    "BenchmarkIncastSmall",
+				Metrics: map[string]float64{"events/sec": evps, "allocs/op": allocs, "ns/op": 100},
+			}},
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium", EventsPerSec: expEvps},
+		}
+	}
+	base := mk(1e6, 0, 1.5e6)
+
+	if n := compareBaselines(base, mk(1.2e6, 0, 2e6), 0.05); n != 0 {
+		t.Fatalf("improvement flagged as %d regression(s)", n)
+	}
+	if n := compareBaselines(base, mk(0.96e6, 0, 1.5e6), 0.05); n != 0 {
+		t.Fatalf("within-threshold dip flagged as %d regression(s)", n)
+	}
+	// 10% events/sec drop on the microbench: one regression.
+	if n := compareBaselines(base, mk(0.9e6, 0, 1.5e6), 0.05); n != 1 {
+		t.Fatalf("microbench regression count = %d, want 1", n)
+	}
+	// Experiment throughput drop: one regression.
+	if n := compareBaselines(base, mk(1e6, 0, 1.2e6), 0.05); n != 1 {
+		t.Fatalf("experiment regression count = %d, want 1", n)
+	}
+	// New allocations on a formerly allocation-free path: one regression.
+	if n := compareBaselines(base, mk(1e6, 2, 1.5e6), 0.05); n != 1 {
+		t.Fatalf("allocs regression count = %d, want 1", n)
+	}
+	// ns/op is informational only.
+	cur := mk(1e6, 0, 1.5e6)
+	cur.Results[0].Metrics["ns/op"] = 1000
+	if n := compareBaselines(base, cur, 0.05); n != 0 {
+		t.Fatalf("ns/op change gated: %d regression(s)", n)
+	}
+	// A benchmark missing from the current run must fail the gate.
+	if n := compareBaselines(base, &BenchBaseline{}, 0.05); n != 1 {
+		t.Fatalf("missing benchmark count = %d, want 1", n)
+	}
+}

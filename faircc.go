@@ -112,8 +112,11 @@ type (
 	SwitchStats  = net.SwitchStats
 	PortStats    = net.PortStats
 
+	// EventID is a generation-stamped handle to a scheduled event;
+	// cancelling a stale handle is a guaranteed no-op.
+	EventID = sim.EventID
 	// EngineStats is the engine's lifetime counter snapshot (events
-	// executed/scheduled/cancelled, pending, peak heap).
+	// executed/scheduled/cancelled, pending, peak pending, slot allocs).
 	EngineStats = sim.EngineStats
 	// RunStats is the run-level observability record: engine and network
 	// counters plus wall-clock rates and process memory.

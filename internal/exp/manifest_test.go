@@ -75,13 +75,13 @@ func TestManifestRoundTrip(t *testing.T) {
 
 func TestRunStatsMetricsInvariants(t *testing.T) {
 	var s metrics.RunStats
-	s.Add(metrics.RunStats{Runs: 1, Events: 100, PeakEventHeap: 10, PoolGets: 100, PoolAllocs: 25})
-	s.Add(metrics.RunStats{Runs: 1, Events: 50, PeakEventHeap: 40, PoolGets: 100, PoolAllocs: 25})
+	s.Add(metrics.RunStats{Runs: 1, Events: 100, PeakPending: 10, PoolGets: 100, PoolAllocs: 25})
+	s.Add(metrics.RunStats{Runs: 1, Events: 50, PeakPending: 40, PoolGets: 100, PoolAllocs: 25})
 	if s.Runs != 2 || s.Events != 150 {
 		t.Fatalf("Add summed wrong: %+v", s)
 	}
-	if s.PeakEventHeap != 40 {
-		t.Fatalf("PeakEventHeap = %d, want max 40", s.PeakEventHeap)
+	if s.PeakPending != 40 {
+		t.Fatalf("PeakPending = %d, want max 40", s.PeakPending)
 	}
 	s.Finish(3 * time.Second)
 	if s.EventsPerSec != 50 {

@@ -22,7 +22,12 @@ type RunStats struct {
 	Events          uint64 `json:"events"` // events executed
 	EventsScheduled uint64 `json:"events_scheduled"`
 	EventsCancelled uint64 `json:"events_cancelled"`
-	PeakEventHeap   int    `json:"peak_event_heap"` // max over runs
+	PeakPending     int    `json:"peak_events_pending"` // max over runs
+	// EventSlotAllocs is the engine's event-arena growth (fresh slot
+	// allocations, as opposed to free-list reuse), summed across runs. On
+	// a steady workload it should track peak pending, not event count —
+	// a higher value means the scheduling hot path is allocating.
+	EventSlotAllocs uint64 `json:"event_slot_allocs"`
 
 	// Simulated time covered, summed across runs.
 	SimSeconds float64 `json:"sim_seconds"`
@@ -60,7 +65,8 @@ func CollectRun(eng *sim.Engine, nw *net.Network) RunStats {
 		Events:          es.Steps,
 		EventsScheduled: es.Scheduled,
 		EventsCancelled: es.Cancelled,
-		PeakEventHeap:   es.PeakHeap,
+		PeakPending:     es.PeakPending,
+		EventSlotAllocs: es.EventAllocs,
 		SimSeconds:      eng.Now().Seconds(),
 		DataSent:        ns.DataSent,
 		DataDelivered:   ns.DataDelivered,
@@ -79,9 +85,10 @@ func (s *RunStats) Add(o RunStats) {
 	s.Events += o.Events
 	s.EventsScheduled += o.EventsScheduled
 	s.EventsCancelled += o.EventsCancelled
-	if o.PeakEventHeap > s.PeakEventHeap {
-		s.PeakEventHeap = o.PeakEventHeap
+	if o.PeakPending > s.PeakPending {
+		s.PeakPending = o.PeakPending
 	}
+	s.EventSlotAllocs += o.EventSlotAllocs
 	s.SimSeconds += o.SimSeconds
 	s.DataSent += o.DataSent
 	s.DataDelivered += o.DataDelivered
@@ -114,8 +121,9 @@ func (s *RunStats) Finish(wall time.Duration) {
 func (s RunStats) String() string {
 	return fmt.Sprintf(
 		"%d run(s): %d events in %.2fs (%.2fM ev/s), %d data pkts, %d acks, "+
-			"%d ECN marks, %d PFC pauses, pool reuse %.1f%%, peak heap %.1f MB",
+			"%d ECN marks, %d PFC pauses, pool reuse %.1f%%, "+
+			"%d event slot allocs, peak heap %.1f MB",
 		s.Runs, s.Events, s.WallSeconds, s.EventsPerSec/1e6,
 		s.DataSent, s.AcksSent, s.ECNMarks, s.PFCPauses,
-		100*s.PoolReuseRate, float64(s.PeakHeapBytes)/1e6)
+		100*s.PoolReuseRate, s.EventSlotAllocs, float64(s.PeakHeapBytes)/1e6)
 }

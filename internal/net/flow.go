@@ -30,8 +30,11 @@ type Flow struct {
 	acked    int64 // payload bytes acknowledged
 	inflight int64
 	nextSend sim.Time
-	pending  *sim.Event
-	wake     func() // bound once: the pacing-wakeup event body
+	// pending/pendingAt track the outstanding pacing wakeup. The handle is
+	// generation-stamped, so cancelling it after it fired is harmless.
+	pending   sim.EventID
+	pendingAt sim.Time
+	wake      func() // onWake bound once: the pacing-wakeup event body
 
 	started  bool
 	finished bool
@@ -121,11 +124,18 @@ func (f *Flow) TakeDeliveredDelta() int64 {
 func (f *Flow) start() {
 	f.started = true
 	f.StartedAt = f.net.Eng.Now()
-	f.wake = func() {
-		f.pending = nil
-		f.trySend()
-	}
+	// Bind the pacing-wakeup callback once (the same pattern as the
+	// packet arrive closure and the port txDone callback): every pacing
+	// timer the flow ever schedules reuses this one func value, so
+	// steady-state scheduling never allocates.
+	f.wake = f.onWake
 	f.ctl = f.algo.Init(f.env())
+	f.trySend()
+}
+
+// onWake is the pacing-timer event body. It runs via the pre-bound f.wake.
+func (f *Flow) onWake() {
+	f.pending = sim.EventID{}
 	f.trySend()
 }
 
@@ -138,6 +148,10 @@ func (f *Flow) env() cc.Env {
 		Hops:        f.hops,
 		Rand:        f.net.rand,
 		Now:         f.net.Eng.Now,
+		// Schedule gates algorithm timers on flow liveness. The wrapper
+		// closure allocates per call, but only timer-driven algorithms
+		// (DCQCN's alpha/rate timers) use it — the per-packet hot paths
+		// all go through pre-bound callbacks.
 		Schedule: func(d sim.Time, fn func()) {
 			if f.finished {
 				return
@@ -204,13 +218,14 @@ func (f *Flow) trySend() {
 }
 
 func (f *Flow) schedule(at sim.Time) {
-	if f.pending != nil {
-		if f.pending.At() == at {
+	if f.pending.Valid() {
+		if f.pendingAt == at {
 			return
 		}
 		f.net.Eng.Cancel(f.pending)
 	}
 	f.pending = f.net.Eng.At(at, f.wake)
+	f.pendingAt = at
 }
 
 // onAck processes an acknowledgement at the sender.
@@ -245,9 +260,10 @@ func (f *Flow) onAck(p *Packet) {
 func (f *Flow) finish(now sim.Time) {
 	f.finished = true
 	f.FinishedAt = now
-	if f.pending != nil {
+	f.net.unfinished--
+	if f.pending.Valid() {
 		f.net.Eng.Cancel(f.pending)
-		f.pending = nil
+		f.pending = sim.EventID{}
 	}
 	if f.net.OnFlowFinish != nil {
 		f.net.OnFlowFinish(f)

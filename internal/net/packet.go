@@ -66,7 +66,11 @@ type Packet struct {
 
 	// dest and arrive implement allocation-free arrival events: arrive is
 	// a closure over the packet built once per pooled Packet; dest is set
-	// before each propagation hop.
+	// before each propagation hop. Invariant: a packet is in flight on at
+	// most one link at a time, so the single closure (plus the dest field
+	// as its argument slot) serves every hop — the same pre-bound-callback
+	// pattern as Port.txDone and Flow.wake, which keeps the engine's
+	// scheduling hot path allocation-free.
 	dest   *Port
 	arrive func()
 }

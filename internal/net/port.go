@@ -37,9 +37,14 @@ type Port struct {
 	ingressBytes int64
 	pauseSent    bool
 
-	// txPkt and txDone implement allocation-free serialization events:
-	// the port transmits one packet at a time, so a single bound closure
-	// (built in Network.Connect) serves every transmission.
+	// txPkt and txDone implement allocation-free serialization events.
+	// Invariant: the port transmits one packet at a time (kick sets busy
+	// before scheduling, drain clears it after), so the single method
+	// value bound in Network.Connect serves every transmission and the
+	// in-flight packet rides in txPkt rather than in a per-event closure.
+	// Every high-frequency timer site follows this pattern — port drain
+	// here, propagation arrival via Packet.arrive, pacing wakeups via
+	// Flow.wake — so steady-state scheduling never allocates.
 	txPkt  *Packet
 	txDone func()
 
@@ -135,6 +140,10 @@ func (pt *Port) kick() {
 	ser := sim.TransmitTime(p.Wire, pt.bw)
 	pt.net.Eng.After(ser, pt.txDone)
 }
+
+// drain is the serialization-done event body; it runs via the pre-bound
+// txDone method value (see the txPkt/txDone invariant above).
+func (pt *Port) drain() { pt.finishTx(pt.txPkt) }
 
 // finishTx completes serialization: stamps telemetry, releases PFC ingress
 // accounting, schedules arrival at the peer, and starts the next packet.

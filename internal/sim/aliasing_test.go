@@ -1,0 +1,72 @@
+package sim
+
+import "testing"
+
+// Regression test for the stale-handle aliasing hazard: with raw event
+// pointers and a free list, a handle kept past its event's execution
+// aliases whatever event is recycled into the same struct, so a late
+// Cancel silently kills an unrelated timer. Generation-stamped EventIDs
+// make the late Cancel a guaranteed no-op.
+func TestEngineCancelStaleHandleDoesNotKillRecycledSlot(t *testing.T) {
+	e := NewEngine()
+	ran := map[string]bool{}
+
+	a := e.At(10, func() { ran["a"] = true })
+	e.Run() // a executes; its slot returns to the free list
+
+	// b reuses a's slot (single-slot free list ⇒ same index, bumped gen).
+	b := e.At(20, func() { ran["b"] = true })
+	if b.idx != a.idx {
+		t.Fatalf("test premise broken: b did not reuse a's slot (a.idx=%d b.idx=%d)", a.idx, b.idx)
+	}
+	if b.gen == a.gen {
+		t.Fatal("recycled slot kept the same generation; stale handles would alias")
+	}
+
+	e.Cancel(a) // stale handle: must NOT cancel b
+	e.Run()
+
+	if !ran["a"] || !ran["b"] {
+		t.Fatalf("ran = %v; stale Cancel(a) must not affect b", ran)
+	}
+	if st := e.Stats(); st.Cancelled != 0 {
+		t.Fatalf("Cancelled = %d, want 0 (stale cancel must not count)", st.Cancelled)
+	}
+}
+
+// Same hazard via Cancel: a cancelled event's slot is reused, then the old
+// handle is cancelled a second time.
+func TestEngineDoubleCancelAcrossSlotReuse(t *testing.T) {
+	e := NewEngine()
+	ran := false
+
+	a := e.At(10, func() { t.Error("cancelled event a ran") })
+	e.Cancel(a)
+
+	b := e.At(10, func() { ran = true })
+	if b.idx != a.idx {
+		t.Fatalf("test premise broken: b did not reuse a's slot")
+	}
+
+	e.Cancel(a) // stale: must be a no-op on b
+	e.Run()
+
+	if !ran {
+		t.Fatal("stale double-cancel killed the recycled event")
+	}
+	if st := e.Stats(); st.Cancelled != 1 {
+		t.Fatalf("Cancelled = %d, want 1", st.Cancelled)
+	}
+}
+
+// The zero EventID is never a live handle.
+func TestEngineCancelZeroHandleIsNoop(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.At(5, func() { ran = true })
+	e.Cancel(EventID{})
+	e.Run()
+	if !ran {
+		t.Fatal("Cancel of zero handle affected a live event")
+	}
+}

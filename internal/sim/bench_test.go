@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkEngineScheduleCancelChurn models an incast's timer churn: a
+// large outstanding set of retransmit-style timers, each round cancelling
+// one at random and scheduling a replacement (an RTO pushed out by an
+// ACK), while simulated time advances. Cancel cost and corpse reaping
+// dominate.
+func BenchmarkEngineScheduleCancelChurn(b *testing.B) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(1))
+	const live = 4096
+	handles := make([]EventID, live)
+	for i := range handles {
+		handles[i] = e.After(Time(r.Intn(1_000_000)+1), func() {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % live
+		e.Cancel(handles[j])
+		handles[j] = e.After(Time(r.Intn(1_000_000)+1), func() {})
+		if i%live == live-1 {
+			e.RunUntil(e.Now() + 10_000)
+		}
+	}
+	b.StopTimer()
+	e.Run()
+}
+
+// BenchmarkEngineSteadyState is the simulator's steady-state shape: a
+// fixed population of timers, each rescheduling itself on execution
+// (pacing timers, port drains, propagation arrivals). With pre-bound
+// callbacks the whole loop — At, queue churn, execution — must run
+// allocation-free.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	e := NewEngine()
+	const timers = 1024
+	executed := 0
+	// Pre-bound callbacks: one closure per timer for its whole lifetime,
+	// mirroring Packet.arrive / Port.drain / Flow.onWake.
+	cbs := make([]func(), timers)
+	for i := 0; i < timers; i++ {
+		period := Time(900 + i) // coprime-ish periods keep the queue mixed
+		cbs[i] = func() {
+			executed++
+			e.After(period, cbs[i])
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < timers; i++ {
+		e.At(Time(i), cbs[i])
+	}
+	for executed < b.N {
+		e.Step()
+	}
+	b.StopTimer()
+	if allocs := e.Stats().EventAllocs; allocs > timers+1 {
+		b.Fatalf("steady state grew the event arena: %d slots for %d timers", allocs, timers)
+	}
+}
+
+// BenchmarkEngineScheduleMixed measures raw schedule+execute throughput
+// with a monotonically advancing, randomly jittered timestamp stream — the
+// distribution the ladder queue sees from packet transmissions.
+func BenchmarkEngineScheduleMixed(b *testing.B) {
+	e := NewEngine()
+	r := rand.New(rand.NewSource(1))
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(r.Intn(100_000)+1), fn)
+		if i%64 == 63 {
+			e.RunUntil(e.Now() + 1000)
+		}
+	}
+	b.StopTimer()
+	e.Run()
+}

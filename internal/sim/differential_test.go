@@ -1,0 +1,185 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Differential test: the ladder-queue engine is exercised against a naive
+// sorted-slice reference model with the exact same semantics — total order
+// by (time, scheduling sequence), lazy-cancel-is-no-op-after-execution —
+// through randomized schedule / cancel / Step / RunUntil sequences,
+// including events that schedule children from inside their callbacks.
+// Execution order, the clock, and every Stats counter must match.
+
+// refModel is the reference scheduler: an unsorted slice scanned for the
+// (at, seq) minimum on every execution. Obviously correct, O(n) per event.
+type refModel struct {
+	now                            Time
+	seq                            uint64
+	evs                            []refEv
+	scheduled, executed, cancelled uint64
+	order                          []int
+}
+
+type refEv struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+func (m *refModel) schedule(at Time, id int) {
+	m.evs = append(m.evs, refEv{at: at, seq: m.seq, id: id})
+	m.seq++
+	m.scheduled++
+}
+
+func (m *refModel) cancel(id int) {
+	for i, ev := range m.evs {
+		if ev.id == id {
+			m.evs = append(m.evs[:i], m.evs[i+1:]...)
+			m.cancelled++
+			return
+		}
+	}
+	// Already executed, already cancelled, or never scheduled: no-op,
+	// matching Engine.Cancel on a stale handle.
+}
+
+func (m *refModel) minIdx() int {
+	best := -1
+	for i, ev := range m.evs {
+		if best < 0 || ev.at < m.evs[best].at ||
+			(ev.at == m.evs[best].at && ev.seq < m.evs[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+// exec runs the minimum event and returns its id (-1 if the queue is
+// empty). spawn mirrors the engine-side callbacks' child scheduling.
+func (m *refModel) exec(spawn func(parent int) (Time, int, bool)) int {
+	i := m.minIdx()
+	if i < 0 {
+		return -1
+	}
+	ev := m.evs[i]
+	m.evs = append(m.evs[:i], m.evs[i+1:]...)
+	m.now = ev.at
+	m.executed++
+	m.order = append(m.order, ev.id)
+	if d, child, ok := spawn(ev.id); ok {
+		m.schedule(m.now+d, child)
+	}
+	return ev.id
+}
+
+func (m *refModel) runUntil(t Time, spawn func(int) (Time, int, bool)) {
+	for {
+		i := m.minIdx()
+		if i < 0 || m.evs[i].at > t {
+			break
+		}
+		m.exec(spawn)
+	}
+	if m.now < t {
+		m.now = t
+	}
+}
+
+func TestEngineDifferentialAgainstSortedSlice(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		r := rand.New(rand.NewSource(int64(1000 + trial)))
+		e := NewEngine()
+		m := &refModel{}
+
+		var engOrder []int
+		handles := map[int]EventID{}
+		allIDs := []int{}
+		nextID := 0
+
+		// spawn decides — purely from the parent id — whether an executing
+		// event schedules a child, so the engine callbacks and the model
+		// apply identical in-event scheduling.
+		spawn := func(parent int) (Time, int, bool) {
+			if parent >= 1_000_000_000 { // depth limit: children don't spawn
+				return 0, 0, false
+			}
+			h := uint32(parent)*2654435761 + 12345
+			if h%3 != 0 {
+				return 0, 0, false
+			}
+			return Time(h%500 + 1), parent + 1_000_000_000, true
+		}
+
+		var engSchedule func(at Time, id int)
+		engSchedule = func(at Time, id int) {
+			handles[id] = e.At(at, func() {
+				engOrder = append(engOrder, id)
+				if d, child, ok := spawn(id); ok {
+					engSchedule(e.Now()+d, child)
+				}
+			})
+		}
+
+		schedule := func() {
+			id := nextID
+			nextID++
+			at := e.Now() + Time(r.Intn(10_000))
+			engSchedule(at, id)
+			m.schedule(at, id)
+			allIDs = append(allIDs, id)
+		}
+
+		for i := 0; i < 50; i++ {
+			schedule()
+		}
+		for op := 0; op < 3000; op++ {
+			switch r.Intn(10) {
+			case 0, 1, 2, 3:
+				schedule()
+			case 4, 5:
+				if len(allIDs) > 0 {
+					// May be live, executed, or already cancelled — the
+					// no-op cases must agree too.
+					id := allIDs[r.Intn(len(allIDs))]
+					e.Cancel(handles[id])
+					m.cancel(id)
+				}
+			case 6, 7:
+				e.Step()
+				m.exec(spawn)
+			case 8, 9:
+				h := e.Now() + Time(r.Intn(5_000))
+				e.RunUntil(h)
+				m.runUntil(h, spawn)
+			}
+			if e.Now() != m.now {
+				t.Fatalf("trial %d op %d: clock %v, model %v", trial, op, e.Now(), m.now)
+			}
+		}
+		e.Run()
+		for m.exec(spawn) >= 0 {
+		}
+		m.now = e.Now()
+
+		if len(engOrder) != len(m.order) {
+			t.Fatalf("trial %d: engine ran %d events, model %d", trial, len(engOrder), len(m.order))
+		}
+		for i := range engOrder {
+			if engOrder[i] != m.order[i] {
+				t.Fatalf("trial %d: execution order diverges at %d: engine id %d, model id %d",
+					trial, i, engOrder[i], m.order[i])
+			}
+		}
+		st := e.Stats()
+		if st.Scheduled != m.scheduled || st.Steps != m.executed || st.Cancelled != m.cancelled {
+			t.Fatalf("trial %d: counters diverge: engine {sched %d exec %d cancel %d}, model {%d %d %d}",
+				trial, st.Scheduled, st.Steps, st.Cancelled, m.scheduled, m.executed, m.cancelled)
+		}
+		if st.Pending != len(m.evs) || st.Pending != 0 {
+			t.Fatalf("trial %d: pending %d, model %d, want both 0 after Run", trial, st.Pending, len(m.evs))
+		}
+	}
+}

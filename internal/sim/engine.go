@@ -1,70 +1,67 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are owned by the Engine; the only
-// valid operations for users are Cancel (via Engine.Cancel) and inspection
-// of the scheduled time via At.
-type Event struct {
-	at        Time
-	seq       uint64
-	fn        func()
-	index     int // heap index; -1 once popped or cancelled
-	cancelled bool
+// EventID is a generation-stamped handle to a scheduled event. The zero
+// EventID is invalid (Valid reports false) and is safe to Cancel.
+//
+// Handles are stamped with the generation of the event slot they reference.
+// A slot's generation advances every time its event executes or is
+// cancelled, so a handle retained past its event's lifetime goes stale
+// rather than aliasing whatever event later reuses the slot: Cancel on a
+// stale handle is a guaranteed no-op. (The previous *Event API had exactly
+// that aliasing hazard — a pointer held across the event's execution could
+// cancel an unrelated recycled event.)
+type EventID struct {
+	idx uint32 // slot index + 1; 0 means "no event"
+	gen uint32 // slot generation at scheduling time
 }
 
-// At returns the simulated time the event is scheduled for.
-func (e *Event) At() Time { return e.at }
+// Valid reports whether the handle refers to an event at all (it may still
+// be stale; Cancel checks that).
+func (id EventID) Valid() bool { return id.idx != 0 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+// slot holds a scheduled event's callback. Slots are recycled through a
+// free list; gen counts recycles so stale EventIDs and stale queue entries
+// are detectable.
+type slot struct {
+	fn  func()
+	gen uint32
 }
 
 // Engine is a discrete-event simulation scheduler. The zero value is not
 // ready to use; create one with NewEngine.
+//
+// The timer core is a ladder queue (see ladder.go): O(1) amortized
+// schedule and dequeue for the clustered timestamps a packet simulation
+// produces, with execution order exactly (time, scheduling order) — the
+// same total order as a binary heap, so fixed-seed runs are bit-for-bit
+// reproducible across scheduler implementations. Steady-state scheduling
+// is allocation-free: callbacks bound once (method values, per-object
+// closures) are stored in recycled slots, and queue entries live in pooled
+// buckets.
 type Engine struct {
-	now       Time
-	seq       uint64
-	events    eventHeap
-	free      []*Event // recycled Event structs
-	stopped   bool
-	steps     uint64
-	live      int    // scheduled, not yet executed or cancelled
-	cancelled uint64 // events cancelled over the engine's lifetime
-	peakHeap  int    // high-water mark of len(events)
+	now Time
+	seq uint64
+	q   ladderQueue
+
+	slots []slot   // event arena; index = EventID.idx-1
+	free  []uint32 // recycled slot indexes
+
+	stopped    bool
+	steps      uint64
+	live       int    // scheduled, not yet executed or cancelled
+	cancelled  uint64 // events cancelled over the engine's lifetime
+	peakLive   int    // high-water mark of live
+	slotAllocs uint64 // fresh slot allocations (arena growth)
 }
 
 // NewEngine returns an engine with the clock at time zero.
 func NewEngine() *Engine {
-	return &Engine{events: make(eventHeap, 0, 1024)}
+	return &Engine{
+		slots: make([]slot, 0, 1024),
+		free:  make([]uint32, 0, 1024),
+	}
 }
 
 // Now returns the current simulated time.
@@ -74,9 +71,8 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of scheduled (not yet executed or cancelled)
-// events. It is O(1): cancelled events leave the heap immediately, and the
-// live count is maintained incrementally, so samplers may call it per
-// sample point.
+// events. It is O(1) — the live count is maintained incrementally — so
+// samplers may call it per sample point.
 func (e *Engine) Pending() int { return e.live }
 
 // EngineStats is a snapshot of the engine's lifetime counters, the
@@ -86,89 +82,125 @@ type EngineStats struct {
 	Scheduled uint64 `json:"events_scheduled"`
 	Cancelled uint64 `json:"events_cancelled"`
 	Pending   int    `json:"events_pending"`
-	PeakHeap  int    `json:"peak_event_heap"`
+	// PeakPending is the high-water mark of simultaneously scheduled
+	// events (the value the old engine reported as its peak heap size).
+	PeakPending int `json:"peak_events_pending"`
+	// EventAllocs counts fresh event-slot allocations: arena growth, as
+	// opposed to free-list reuse. In steady state it plateaus at the peak
+	// concurrent event count — a rising value on a stable workload means
+	// the scheduling hot path is allocating.
+	EventAllocs uint64 `json:"event_slot_allocs"`
 }
 
 // Stats snapshots the engine counters. Reading them never perturbs the
 // simulation.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		Steps:     e.steps,
-		Scheduled: e.seq,
-		Cancelled: e.cancelled,
-		Pending:   e.live,
-		PeakHeap:  e.peakHeap,
+		Steps:       e.steps,
+		Scheduled:   e.seq,
+		Cancelled:   e.cancelled,
+		Pending:     e.live,
+		PeakPending: e.peakLive,
+		EventAllocs: e.slotAllocs,
 	}
 }
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
-// it would silently reorder causality.
-func (e *Engine) At(t Time, fn func()) *Event {
+// it would silently reorder causality. The hot path is allocation-free when
+// fn is pre-bound (a method value or reused closure): the slot comes from
+// the free list and the queue entry from a pooled bucket.
+func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	var ev *Event
+	var idx uint32
 	if n := len(e.free); n > 0 {
-		ev = e.free[n-1]
+		idx = e.free[n-1]
 		e.free = e.free[:n-1]
-		*ev = Event{}
 	} else {
-		ev = &Event{}
+		e.slots = append(e.slots, slot{})
+		idx = uint32(len(e.slots) - 1)
+		e.slotAllocs++
 	}
-	ev.at = t
-	ev.seq = e.seq
-	ev.fn = fn
+	s := &e.slots[idx]
+	s.fn = fn
+	e.q.push(entry{at: t, seq: e.seq, idx: idx, gen: s.gen})
 	e.seq++
 	e.live++
-	heap.Push(&e.events, ev)
-	if len(e.events) > e.peakHeap {
-		e.peakHeap = len(e.events)
+	if e.live > e.peakLive {
+		e.peakLive = e.live
 	}
-	return ev
+	return EventID{idx: idx + 1, gen: s.gen}
 }
 
 // After schedules fn to run d after the current time.
-func (e *Engine) After(d Time, fn func()) *Event {
+func (e *Engine) After(d Time, fn func()) EventID {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a scheduled event from the heap immediately and recycles
-// its storage, so cancel-heavy workloads (retransmit and pacing timers) do
-// not grow the heap with corpses that slow every subsequent push.
-// Cancelling an already-executed or already-cancelled event is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.index < 0 {
+// Cancel prevents a scheduled event from running. The slot (and its
+// callback reference) is released immediately; the 24-byte queue entry is
+// discarded lazily when it surfaces at the queue front. Cancelling an
+// already-executed, already-cancelled, stale, or zero handle is a no-op —
+// the generation stamp guarantees a retained handle can never cancel an
+// unrelated event that reused the slot.
+func (e *Engine) Cancel(id EventID) {
+	if id.idx == 0 {
 		return
 	}
-	ev.cancelled = true
+	idx := id.idx - 1
+	if int(idx) >= len(e.slots) {
+		return
+	}
+	s := &e.slots[idx]
+	if s.gen != id.gen || s.fn == nil {
+		return
+	}
+	s.fn = nil
+	s.gen++
+	e.free = append(e.free, idx)
 	e.live--
 	e.cancelled++
-	heap.Remove(&e.events, ev.index) // sets ev.index = -1 via Pop
-	e.recycle(ev)
 }
 
-// Step executes the next event. It reports whether an event was executed;
-// false means the queue is empty. Cancelled events are removed eagerly by
-// Cancel, so everything in the heap is runnable.
-func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
-		return false
+// peekLive returns the next runnable entry, discarding cancelled corpses
+// as they surface. It reports false when no live events remain.
+func (e *Engine) peekLive() (entry, bool) {
+	for {
+		en, ok := e.q.peek()
+		if !ok {
+			return entry{}, false
+		}
+		if e.slots[en.idx].gen == en.gen {
+			return en, true
+		}
+		e.q.drop() // cancelled corpse
 	}
-	ev := heap.Pop(&e.events).(*Event)
-	e.now = ev.at
-	fn := ev.fn
-	e.recycle(ev)
+}
+
+// exec consumes an already-peeked entry and runs its callback.
+func (e *Engine) exec(en entry) {
+	e.q.drop()
+	e.now = en.at
+	s := &e.slots[en.idx]
+	fn := s.fn
+	s.fn = nil
+	s.gen++
+	e.free = append(e.free, en.idx)
 	e.live--
 	e.steps++
 	fn()
-	return true
 }
 
-func (e *Engine) recycle(ev *Event) {
-	ev.fn = nil
-	if len(e.free) < 4096 {
-		e.free = append(e.free, ev)
+// Step executes the next event. It reports whether an event was executed;
+// false means the queue is empty.
+func (e *Engine) Step() bool {
+	en, ok := e.peekLive()
+	if !ok {
+		return false
 	}
+	e.exec(en)
+	return true
 }
 
 // Stop makes Run and RunUntil return after the current event completes.
@@ -185,11 +217,12 @@ func (e *Engine) Run() {
 // Events scheduled exactly at t are executed.
 func (e *Engine) RunUntil(t Time) {
 	e.stopped = false
-	for !e.stopped && len(e.events) > 0 {
-		if e.events[0].at > t {
+	for !e.stopped {
+		en, ok := e.peekLive()
+		if !ok || en.at > t {
 			break
 		}
-		e.Step()
+		e.exec(en)
 	}
 	if e.now < t {
 		e.now = t

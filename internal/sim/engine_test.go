@@ -137,8 +137,7 @@ func TestEngineCancel(t *testing.T) {
 func TestEngineCancelFromEvent(t *testing.T) {
 	e := NewEngine()
 	ran := false
-	var ev *Event
-	ev = e.At(20, func() { ran = true })
+	ev := e.At(20, func() { ran = true })
 	e.At(10, func() { e.Cancel(ev) })
 	e.Run()
 	if ran {

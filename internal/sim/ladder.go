@@ -1,0 +1,363 @@
+package sim
+
+import "slices"
+
+// This file implements the engine's timer core: a ladder queue — a
+// hierarchical bucket structure with a small sorted "current epoch" at the
+// front. Packet simulations schedule almost every event a short, clustered
+// distance into the future (serialization times, propagation delays, pacing
+// gaps), which a comparison-based heap pays O(log n) per operation to
+// handle. The ladder queue exploits the clustering: an event is appended to
+// a coarse time bucket in O(1), and sorting work is deferred until a bucket
+// reaches the front, where it is small (or is subdivided into a finer rung
+// until it is). Each event is therefore touched O(1) amortized times
+// regardless of how many are pending.
+//
+// Determinism: the execution order is the total order (at, seq) — time,
+// ties broken by scheduling sequence number. Buckets are sorted by exactly
+// that key before being consumed, so the event order is bit-for-bit
+// identical to the previous binary-heap engine, and to any other correct
+// priority queue. The golden experiment tests pin this.
+//
+// Structure invariants:
+//
+//   - cur[curHead:] is sorted ascending by (at, seq) and holds every stored
+//     entry with at < curEnd. New entries below curEnd are insertion-sorted
+//     into it (they are rare and the epoch is kept small; see splitCur).
+//   - ladder holds rungs of buckets. ladder[i+1] subdivides one consumed
+//     bucket interval of ladder[i], so remaining rung coverage, walked from
+//     the deepest rung to rung 0, forms increasing disjoint time intervals
+//     starting at curEnd.
+//   - over holds entries at or beyond every rung's end, unsorted. When the
+//     ladder is exhausted it is re-bucketed into a fresh rung 0 spanning
+//     [overMin, overMax].
+//
+// The queue never inspects cancellation state: the engine cancels events by
+// invalidating their slot generation and lazily discards stale entries as
+// they surface at the front (see Engine.peekLive).
+type ladderQueue struct {
+	cur     []entry // current epoch, sorted; consumed from curHead
+	curHead int
+	curEnd  Time // exclusive epoch bound: stored entries with at < curEnd are in cur
+
+	ladder []rung
+	over   []entry // entries beyond the ladder, unsorted
+	overMin,
+	overMax Time
+
+	pool  [][]entry   // recycled entry slices for bucket reuse
+	bpool [][][]entry // recycled rung bucket arrays
+}
+
+// entry is one scheduled occurrence: the ordering key (at, seq) plus the
+// generation-stamped slot reference that locates the callback.
+type entry struct {
+	at  Time
+	seq uint64
+	idx uint32 // slot index in Engine.slots
+	gen uint32 // slot generation at scheduling time
+}
+
+// rung is one level of the ladder: count buckets of width picoseconds
+// starting at start. end is the exclusive bound actually covered (it may be
+// less than start+len(buckets)*width when the span does not divide evenly).
+type rung struct {
+	start   Time
+	width   Time
+	end     Time
+	next    int // next unconsumed bucket
+	buckets [][]entry
+}
+
+// Tuning constants. sortMax bounds the sorting work done when a bucket
+// reaches the front; buckets larger than that are subdivided into a
+// childBuckets-wide finer rung instead (unless all entries share one
+// timestamp, where subdividing cannot help). curSplitMax bounds the sorted
+// epoch: beyond it, insertions re-bucket the epoch rather than pay O(n)
+// memmove per insert. Overflow rungs scale their bucket count with the
+// number of entries, within [minOverBuckets, maxOverBuckets].
+const (
+	sortMax        = 64
+	childBuckets   = 64
+	curSplitMax    = 512
+	minOverBuckets = 8
+	maxOverBuckets = 1 << 14
+)
+
+func entryLess(a, b entry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func entryCmp(a, b entry) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	if a.seq != b.seq {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// push stores an entry. O(1) except for the (small, bounded) sorted insert
+// into the current epoch.
+func (q *ladderQueue) push(en entry) {
+	if en.at < q.curEnd {
+		q.insertCur(en)
+		return
+	}
+	for i := len(q.ladder) - 1; i >= 0; i-- {
+		r := &q.ladder[i]
+		if en.at < r.end {
+			j := int((en.at - r.start) / r.width)
+			if j < 0 {
+				// A fresh overflow rung starts at the overflow minimum,
+				// which may sit above curEnd; entries pushed into that gap
+				// fold into bucket 0 and sort out on promotion.
+				j = 0
+			}
+			b := r.buckets[j]
+			if b == nil {
+				b = q.getSlice()
+			}
+			r.buckets[j] = append(b, en)
+			return
+		}
+	}
+	if len(q.over) == 0 {
+		q.overMin, q.overMax = en.at, en.at
+	} else {
+		if en.at < q.overMin {
+			q.overMin = en.at
+		}
+		if en.at > q.overMax {
+			q.overMax = en.at
+		}
+	}
+	q.over = append(q.over, en)
+}
+
+// insertCur insertion-sorts an entry into the current epoch. When the live
+// region has grown past curSplitMax and actually spans more than one
+// timestamp, it is re-bucketed into a finer rung first, shrinking curEnd so
+// subsequent near-future pushes bucket in O(1) instead of memmoving a large
+// epoch. (A same-timestamp region never splits: its inserts append at the
+// end of the equal-key run, which is already O(1).)
+func (q *ladderQueue) insertCur(en entry) {
+	if len(q.cur)-q.curHead >= curSplitMax &&
+		q.cur[q.curHead].at != q.cur[len(q.cur)-1].at {
+		q.splitCur()
+		q.push(en)
+		return
+	}
+	lo, hi := q.curHead, len(q.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if entryLess(q.cur[mid], en) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	q.cur = append(q.cur, entry{})
+	copy(q.cur[lo+1:], q.cur[lo:])
+	q.cur[lo] = en
+}
+
+// splitCur re-buckets the unconsumed epoch region into a new deepest rung
+// spanning [region min, curEnd) and empties cur. Entry order is preserved:
+// the rung restores (at, seq) order bucket by bucket as it is consumed.
+func (q *ladderQueue) splitCur() {
+	region := q.cur[q.curHead:]
+	start := region[0].at // region is sorted; this is its minimum
+	r := q.newRung(start, q.curEnd, region)
+	q.ladder = append(q.ladder, r)
+	q.putSlice(q.cur)
+	q.cur = nil
+	q.curHead = 0
+	q.curEnd = start
+}
+
+// peek returns the front entry without consuming it. It reports false when
+// the queue is empty.
+func (q *ladderQueue) peek() (entry, bool) {
+	for q.curHead >= len(q.cur) {
+		if !q.refill() {
+			return entry{}, false
+		}
+	}
+	return q.cur[q.curHead], true
+}
+
+// drop consumes the entry peek returned.
+func (q *ladderQueue) drop() { q.curHead++ }
+
+// refill replenishes the consumed epoch from the ladder: it promotes the
+// next non-empty bucket of the deepest rung, subdividing buckets too large
+// to sort cheaply, popping exhausted rungs, and re-bucketing the overflow
+// once the ladder is empty. It reports false when no entries remain.
+func (q *ladderQueue) refill() bool {
+	if q.cur != nil {
+		q.putSlice(q.cur)
+		q.cur = nil
+	}
+	q.curHead = 0
+	for {
+		if n := len(q.ladder); n > 0 {
+			r := &q.ladder[n-1]
+			for r.next < len(r.buckets) && len(r.buckets[r.next]) == 0 {
+				if r.buckets[r.next] != nil {
+					q.putSlice(r.buckets[r.next])
+					r.buckets[r.next] = nil
+				}
+				r.next++
+			}
+			if r.next >= len(r.buckets) {
+				q.curEnd = r.end
+				q.putBuckets(r.buckets) // every bucket is nil by now
+				q.ladder = q.ladder[:n-1]
+				continue
+			}
+			b := r.buckets[r.next]
+			bStart := r.start + Time(r.next)*r.width
+			bEnd := bStart + r.width
+			if bEnd > r.end {
+				bEnd = r.end
+			}
+			if len(b) > sortMax && r.width > 1 && b[0].at != maxAt(b) {
+				child := q.newRung(bStart, bEnd, b)
+				q.putSlice(b)
+				r.buckets[r.next] = nil
+				r.next++
+				q.ladder = append(q.ladder, child)
+				continue
+			}
+			slices.SortFunc(b, entryCmp)
+			r.buckets[r.next] = nil
+			r.next++
+			q.cur = b
+			q.curEnd = bEnd
+			return true
+		}
+		if n := len(q.over); n > 0 {
+			if n <= sortMax {
+				// Small overflow: sort it straight into the epoch instead
+				// of building (and allocating) a one-shot rung. This is the
+				// steady state of lightly loaded simulations — a handful of
+				// timers chaining each other.
+				slices.SortFunc(q.over, entryCmp)
+				q.cur, q.over = q.over, q.getSlice()
+				q.curEnd = q.overMax + 1
+				return true
+			}
+			q.ladder = append(q.ladder, q.overflowRung())
+			continue
+		}
+		return false
+	}
+}
+
+// maxAt scans for the largest timestamp in a bucket (used only to detect
+// the degenerate single-timestamp bucket, which subdivision cannot split).
+func maxAt(b []entry) Time {
+	m := b[0].at
+	for _, en := range b[1:] {
+		if en.at > m {
+			m = en.at
+		}
+	}
+	return m
+}
+
+// newRung builds a rung of childBuckets-granularity buckets covering
+// [start, end) and distributes the given entries into it. Entries below
+// start (overflow-gap entries folded forward) clamp into bucket 0.
+func (q *ladderQueue) newRung(start, end Time, entries []entry) rung {
+	width := (end-start)/childBuckets + 1
+	count := int((end - start + width - 1) / width)
+	if count < 1 {
+		count = 1
+	}
+	r := rung{start: start, width: width, end: end, buckets: q.getBuckets(count)}
+	for _, en := range entries {
+		j := int((en.at - start) / width)
+		if j < 0 {
+			j = 0
+		}
+		b := r.buckets[j]
+		if b == nil {
+			b = q.getSlice()
+		}
+		r.buckets[j] = append(b, en)
+	}
+	return r
+}
+
+// overflowRung re-buckets the overflow into a fresh rung 0 spanning its
+// observed time range, with a bucket count scaled to the entry count.
+func (q *ladderQueue) overflowRung() rung {
+	lo, hi := q.overMin, q.overMax
+	nb := minOverBuckets
+	for nb < len(q.over) && nb < maxOverBuckets {
+		nb <<= 1
+	}
+	width := (hi-lo)/Time(nb) + 1
+	count := int((hi-lo)/width) + 1
+	r := rung{start: lo, width: width, end: lo + Time(count)*width, buckets: q.getBuckets(count)}
+	for _, en := range q.over {
+		j := int((en.at - lo) / width)
+		b := r.buckets[j]
+		if b == nil {
+			b = q.getSlice()
+		}
+		r.buckets[j] = append(b, en)
+	}
+	q.over = q.over[:0]
+	return r
+}
+
+// getSlice and putSlice recycle entry-slice backing arrays between buckets
+// and epochs, keeping steady-state scheduling allocation-free.
+func (q *ladderQueue) getSlice() []entry {
+	if n := len(q.pool); n > 0 {
+		s := q.pool[n-1]
+		q.pool = q.pool[:n-1]
+		return s
+	}
+	return make([]entry, 0, 16)
+}
+
+func (q *ladderQueue) putSlice(s []entry) {
+	if cap(s) >= 8 && cap(s) <= 1<<16 && len(q.pool) < 4096 {
+		q.pool = append(q.pool, s[:0])
+	}
+}
+
+// getBuckets and putBuckets recycle whole rung bucket arrays. A rung is
+// only retired once every bucket has been consumed (and nil'd), so a
+// recycled array needs no clearing.
+func (q *ladderQueue) getBuckets(count int) [][]entry {
+	for i := len(q.bpool) - 1; i >= 0; i-- {
+		if cap(q.bpool[i]) >= count {
+			b := q.bpool[i][:count]
+			q.bpool[i] = q.bpool[len(q.bpool)-1]
+			q.bpool = q.bpool[:len(q.bpool)-1]
+			return b
+		}
+	}
+	return make([][]entry, count)
+}
+
+func (q *ladderQueue) putBuckets(b [][]entry) {
+	if cap(b) > 0 && len(q.bpool) < 32 {
+		q.bpool = append(q.bpool, b[:0])
+	}
+}

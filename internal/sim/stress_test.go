@@ -14,7 +14,7 @@ func TestEngineStressMixedOps(t *testing.T) {
 
 	executed := map[int]int{}
 	cancelled := map[int]bool{}
-	events := map[int]*Event{}
+	events := map[int]EventID{}
 	var last Time = -1
 	id := 0
 
