@@ -1,15 +1,18 @@
 // Command ci is the repository's verification gate, runnable anywhere Go
 // is installed (no make required):
 //
-//	go run ./cmd/ci                                    # build + vet + gofmt + race + bench smoke
+//	go run ./cmd/ci                                    # build + vet + gofmt + test + race + bench smoke
 //	go run ./cmd/ci -bench                             # also record BENCH_baseline.json
 //	go run ./cmd/ci -bench -bench-out BENCH_pr.json \
 //	    -bench-compare BENCH_baseline.json             # record and gate against a baseline
 //
-// The race step targets the packages with real concurrency — the sweep
-// runner (internal/par) and the engine it drives (internal/sim) — so the
-// panic-recovery and cancellation paths stay race-clean. The bench-smoke
-// step runs every scheduler benchmark for exactly one iteration, so a
+// The test step is the repository's tier-1 gate (`go test ./...`), so a
+// PR cannot pass ci with a broken unit or experiment test. The race step
+// re-runs the whole tree under the race detector in -short mode: -short
+// skips only the long datacenter-scale runs, which are single-variant
+// re-executions of code the concurrency-heavy packages (internal/par,
+// internal/sim) already exercise at full length. The bench-smoke step
+// runs every scheduler benchmark for exactly one iteration, so a
 // benchmark that panics or trips its own invariant checks fails the
 // default gate without paying measurement time.
 //
@@ -57,7 +60,8 @@ func main() {
 		{"build", []string{"go", "build", "./..."}},
 		{"vet", []string{"go", "vet", "./..."}},
 		{"gofmt", []string{"gofmt", "-l", "."}},
-		{"race", []string{"go", "test", "-race", "./internal/par", "./internal/sim"}},
+		{"test", []string{"go", "test", "./..."}},
+		{"race", []string{"go", "test", "-race", "-short", "./..."}},
 		{"bench-smoke", []string{"go", "test", "-run", "^$", "-bench", ".", "-benchtime", "1x", "./internal/sim"}},
 	}
 	failed := 0
@@ -233,8 +237,10 @@ func compareBaselines(base, cur *BenchBaseline, threshold float64) int {
 	for _, b := range base.Results {
 		c, ok := curByName[b.Name]
 		if !ok {
-			fmt.Printf("gate %-40s MISSING from current run\n", b.Name)
-			regressions++
+			// A renamed or deleted benchmark is a baseline-hygiene issue,
+			// not a performance regression; warn so the author refreshes
+			// the baseline, but don't fail the gate on a one-sided key.
+			fmt.Printf("warn %-40s missing from current run (refresh the baseline?)\n", b.Name)
 			continue
 		}
 		for metric, bv := range b.Metrics {

@@ -57,8 +57,9 @@ func TestCompareBaselinesGatesEventsPerSec(t *testing.T) {
 	if n := compareBaselines(base, cur, 0.05); n != 0 {
 		t.Fatalf("ns/op change gated: %d regression(s)", n)
 	}
-	// A benchmark missing from the current run must fail the gate.
-	if n := compareBaselines(base, &BenchBaseline{}, 0.05); n != 1 {
-		t.Fatalf("missing benchmark count = %d, want 1", n)
+	// A benchmark missing from the current run warns (stale baseline key)
+	// but does not fail the gate.
+	if n := compareBaselines(base, &BenchBaseline{}, 0.05); n != 0 {
+		t.Fatalf("missing benchmark counted as %d regression(s), want warning only", n)
 	}
 }

@@ -7,6 +7,7 @@
 //	fairsim -exp fig1a [-scale small|medium|full] [-seed 1] [-out dir]
 //	fairsim -all [-scale medium] [-out results]
 //	fairsim -exp fig10 -progress -manifest [-pprof profiles]
+//	fairsim -exp incast-lossy -buffer-bytes 150000 -drop-data 5e-4 -drop-ack 5e-4
 //
 // Each experiment regenerates one figure of "Fast Convergence to Fairness
 // for Reduced Long Flow Tail Latency in Datacenter Networks" (Snyder &
@@ -46,6 +47,10 @@ func run() int {
 		plot   = flag.Bool("plot", false, "render an ASCII chart of each result")
 		verify = flag.Bool("verify", false, "check the paper's claims against fresh runs and exit")
 
+		bufBytes = flag.Int64("buffer-bytes", 0, "lossy experiments: per-egress switch buffer in bytes (0 = experiment default)")
+		dropData = flag.Float64("drop-data", 0, "lossy experiments: random data-packet wire-loss probability (0 = experiment default)")
+		dropAck  = flag.Float64("drop-ack", 0, "lossy experiments: random ACK wire-loss probability (0 = experiment default)")
+
 		progress = flag.Bool("progress", false, "print periodic sim-time/events-per-sec lines for each run (stderr)")
 		every    = flag.Duration("progress-every", time.Second, "target interval between progress lines")
 		manifest = flag.Bool("manifest", false, "write <exp>.manifest.json (params, git-describe, RunStats) next to the CSV")
@@ -53,7 +58,10 @@ func run() int {
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Workers: *work, Scale: *scale}
+	cfg := exp.Config{
+		Seed: *seed, Workers: *work, Scale: *scale,
+		BufferBytes: *bufBytes, DropDataProb: *dropData, DropAckProb: *dropAck,
+	}
 	if *progress {
 		cfg.Progress = printProgress
 		cfg.ProgressEvery = *every

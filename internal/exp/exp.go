@@ -40,6 +40,14 @@ type Config struct {
 	// (default 1s).
 	ProgressEvery time.Duration
 
+	// Lossy-mode knobs for the incast-lossy / incast-pfc-vs-lossy
+	// experiments (zero = each experiment's defaults; other experiments
+	// ignore them). BufferBytes caps every switch egress queue;
+	// DropDataProb / DropAckProb inject random per-packet wire loss.
+	BufferBytes  int64
+	DropDataProb float64
+	DropAckProb  float64
+
 	// obs accumulates RunStats across the experiment's simulations; set by
 	// RunWithStats.
 	obs *runObserver

@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig5a", "fig5b", "fig5c", "fig5d", "fig6a", "fig6b", "fig6c", "fig6d",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"ablate-aicap", "ablate-sf", "ablate-dampener", "ablate-newflow",
-		"incast-dcqcn",
+		"incast-dcqcn", "incast-pfc", "incast-lossy", "incast-pfc-vs-lossy",
 	}
 	names := Names()
 	have := map[string]bool{}

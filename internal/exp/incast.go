@@ -28,6 +28,8 @@ type incastOut struct {
 	convergeUs  float64 // time for smoothed Jain to reach 0.9 (-1 if never)
 	maxQueueKB  float64
 	pfcPauses   int64
+	lastFinish  sim.Time
+	stats       net.NetworkStats
 	allFinished bool
 	err         error
 }
@@ -85,7 +87,13 @@ func runIncast(cfg Config, v variant, senders int, setup func(*net.Network, *top
 
 	runSim(cfg, v.label, eng, nw)
 	out.allFinished = nw.AllFinished()
-	out.pfcPauses = nw.Stats().PFCPauses
+	out.stats = nw.Stats()
+	out.pfcPauses = out.stats.PFCPauses
+	for _, f := range nw.Flows() {
+		if f.Finished() && f.FinishedAt > out.lastFinish {
+			out.lastFinish = f.FinishedAt
+		}
+	}
 	if err := nw.CheckConservation(); err != nil {
 		out.err = err
 		return out

@@ -42,6 +42,18 @@ type RunStats struct {
 	PoolAllocs    int64   `json:"pool_allocs"`
 	PoolReuseRate float64 `json:"pool_reuse_rate"`
 
+	// Loss and recovery counters (summed across runs; all zero on
+	// lossless runs, so manifests of historical experiments are unchanged
+	// apart from the new always-present keys).
+	DataDrops    int64 `json:"data_drops"`
+	AckDrops     int64 `json:"ack_drops"`
+	BufferDrops  int64 `json:"buffer_drops"`
+	WireDrops    int64 `json:"wire_drops"`
+	Retransmits  int64 `json:"retransmits"`
+	RTOFires     int64 `json:"rto_fires"`
+	DupAcks      int64 `json:"dup_acks"`
+	DataOutOfSeq int64 `json:"data_out_of_seq"`
+
 	// Wall-clock figures, filled in by Finish.
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -75,6 +87,14 @@ func CollectRun(eng *sim.Engine, nw *net.Network) RunStats {
 		PFCPauses:       ns.PFCPauses,
 		PoolGets:        ns.PoolGets,
 		PoolAllocs:      ns.PoolAllocs,
+		DataDrops:       ns.DataDrops,
+		AckDrops:        ns.AckDrops,
+		BufferDrops:     ns.BufferDrops,
+		WireDrops:       ns.WireDrops,
+		Retransmits:     ns.Retransmits,
+		RTOFires:        ns.RTOFires,
+		DupAcks:         ns.DupAcks,
+		DataOutOfSeq:    ns.DataOutOfSeq,
 	}
 }
 
@@ -97,6 +117,14 @@ func (s *RunStats) Add(o RunStats) {
 	s.PFCPauses += o.PFCPauses
 	s.PoolGets += o.PoolGets
 	s.PoolAllocs += o.PoolAllocs
+	s.DataDrops += o.DataDrops
+	s.AckDrops += o.AckDrops
+	s.BufferDrops += o.BufferDrops
+	s.WireDrops += o.WireDrops
+	s.Retransmits += o.Retransmits
+	s.RTOFires += o.RTOFires
+	s.DupAcks += o.DupAcks
+	s.DataOutOfSeq += o.DataOutOfSeq
 }
 
 // Finish records the wall-clock duration the runs took, derives the rates,
@@ -117,13 +145,20 @@ func (s *RunStats) Finish(wall time.Duration) {
 	s.NumGC = m.NumGC
 }
 
-// String renders the headline numbers for terminal output.
+// String renders the headline numbers for terminal output. Loss-path
+// counters are appended only when the run actually dropped or recovered
+// anything, so lossless output is unchanged.
 func (s RunStats) String() string {
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"%d run(s): %d events in %.2fs (%.2fM ev/s), %d data pkts, %d acks, "+
 			"%d ECN marks, %d PFC pauses, pool reuse %.1f%%, "+
 			"%d event slot allocs, peak heap %.1f MB",
 		s.Runs, s.Events, s.WallSeconds, s.EventsPerSec/1e6,
 		s.DataSent, s.AcksSent, s.ECNMarks, s.PFCPauses,
 		100*s.PoolReuseRate, s.EventSlotAllocs, float64(s.PeakHeapBytes)/1e6)
+	if drops := s.DataDrops + s.AckDrops; drops > 0 || s.Retransmits > 0 {
+		out += fmt.Sprintf(", %d drops (%d buffer, %d wire), %d retransmits, %d RTOs",
+			drops, s.BufferDrops, s.WireDrops, s.Retransmits, s.RTOFires)
+	}
+	return out
 }

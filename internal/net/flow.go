@@ -26,15 +26,31 @@ type Flow struct {
 	algo cc.Algorithm
 	ctl  cc.Control
 
-	sent     int64 // payload bytes sent
+	sent     int64 // payload bytes sent (next sequence to transmit)
 	acked    int64 // payload bytes acknowledged
 	inflight int64
+	maxSent  int64 // high-water mark of sent; go-back-N rewinds sent below it
 	nextSend sim.Time
 	// pending/pendingAt track the outstanding pacing wakeup. The handle is
 	// generation-stamped, so cancelling it after it fired is harmless.
 	pending   sim.EventID
 	pendingAt sim.Time
 	wake      func() // onWake bound once: the pacing-wakeup event body
+
+	// Loss recovery (armed only when Network.LossRecovery is set). The
+	// timer is lazy: progress just pushes rtoDeadline forward, and the
+	// scheduled event re-arms itself when it fires early, so ACK
+	// processing never cancels engine events.
+	rtoBase     sim.Time // initial timeout: max(RTOMin, 4*baseRTT)
+	rto         sim.Time // current timeout (doubles on fire, capped at RTOMax)
+	rtoDeadline sim.Time
+	rtoArmed    bool
+	rtoWake     func() // onRTO bound once: the timeout event body
+
+	// Retransmits counts data packets this flow re-sent; Timeouts counts
+	// RTO fires that triggered go-back-N recovery.
+	Retransmits int64
+	Timeouts    int64
 
 	started  bool
 	finished bool
@@ -129,6 +145,7 @@ func (f *Flow) start() {
 	// timer the flow ever schedules reuses this one func value, so
 	// steady-state scheduling never allocates.
 	f.wake = f.onWake
+	f.rtoWake = f.onRTO
 	f.ctl = f.algo.Init(f.env())
 	f.trySend()
 }
@@ -201,7 +218,14 @@ func (f *Flow) trySend() {
 		p.Payload = int(payload)
 		p.Wire = int(payload) + f.net.HeaderBytes
 		p.SentAt = now
+		if p.Seq < f.maxSent {
+			f.Retransmits++
+			f.net.retransmits++
+		}
 		f.sent += payload
+		if f.sent > f.maxSent {
+			f.maxSent = f.sent
+		}
 		f.inflight += payload
 		f.net.dataSent++
 		if h := f.net.Hooks.OnSend; h != nil {
@@ -213,8 +237,52 @@ func (f *Flow) trySend() {
 			f.nextSend = now
 		}
 		f.nextSend += gap
+		if f.net.LossRecovery {
+			f.rtoDeadline = now + f.rto
+			f.armRTO()
+		}
 		f.host.port.send(p)
 	}
+}
+
+// armRTO ensures a timeout event is scheduled. It is a no-op when one is
+// already outstanding: the lazy timer re-checks rtoDeadline when it fires.
+func (f *Flow) armRTO() {
+	if f.rtoArmed || f.finished {
+		return
+	}
+	f.rtoArmed = true
+	f.net.Eng.At(f.rtoDeadline, f.rtoWake)
+}
+
+// onRTO is the retransmission-timeout event body (pre-bound in f.rtoWake).
+// If progress moved the deadline since this event was scheduled, it
+// re-arms at the new deadline; otherwise the outstanding window is
+// declared lost and go-back-N resends from the last cumulative ACK.
+func (f *Flow) onRTO() {
+	f.rtoArmed = false
+	if f.finished || f.inflight <= 0 {
+		return
+	}
+	now := f.net.Eng.Now()
+	if now < f.rtoDeadline {
+		f.armRTO()
+		return
+	}
+	f.Timeouts++
+	f.net.rtoFires++
+	f.rto *= 2
+	if f.rto > f.net.RTOMax && f.net.RTOMax > 0 {
+		f.rto = f.net.RTOMax
+	}
+	// Everything past the last cumulative ACK is presumed lost: rewind
+	// the send cursor and clear the pacing backlog so recovery starts
+	// immediately rather than at the stale pacing horizon.
+	f.sent = f.acked
+	f.inflight = 0
+	f.nextSend = now
+	f.rtoDeadline = now + f.rto
+	f.trySend()
 }
 
 func (f *Flow) schedule(at sim.Time) {
@@ -228,18 +296,40 @@ func (f *Flow) schedule(at sim.Time) {
 	f.pendingAt = at
 }
 
-// onAck processes an acknowledgement at the sender.
+// onAck processes a cumulative acknowledgement at the sender. Under loss
+// the per-flow-FIFO assumption no longer holds: the receiver re-advertises
+// its cumulative position for every out-of-sequence arrival, and ACKs for
+// data sent before a go-back-N rewind can land after it, so stale and
+// duplicate ACKs are normal here rather than impossible.
 func (f *Flow) onAck(p *Packet) {
 	newly := p.AckSeq - f.acked
 	if newly <= 0 {
-		return // duplicate or reordered; cannot happen with per-flow FIFO paths
+		f.net.dupAcks++
+		return // duplicate or stale cumulative ACK; RTO drives recovery
 	}
 	f.acked = p.AckSeq
 	f.inflight -= newly
+	if f.inflight < 0 {
+		// An ACK covering data resent after a spurious timeout: the
+		// original and the retransmit were both counted as sent once but
+		// the rewind zeroed inflight in between.
+		f.inflight = 0
+	}
+	if f.acked > f.sent {
+		// The rewind presumed data lost that was in fact in flight; skip
+		// the send cursor past what the receiver now confirms.
+		f.sent = f.acked
+	}
 	now := f.net.Eng.Now()
 	if f.acked >= f.Spec.Size {
 		f.finish(now)
 		return
+	}
+	if f.net.LossRecovery {
+		// Forward progress: reset backoff and push the timeout out.
+		f.rto = f.rtoBase
+		f.rtoDeadline = now + f.rto
+		f.armRTO()
 	}
 	f.ctl = f.algo.OnAck(cc.Feedback{
 		Now:        now,

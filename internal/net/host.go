@@ -43,13 +43,23 @@ func (h *Host) receiveData(p *Packet) {
 	if p.Dst != h.id {
 		panic("net: data packet delivered to wrong host")
 	}
-	f.delivered += int64(p.Payload)
-	h.net.dataDelivered++
-	if f.delivered >= f.Spec.Size {
-		f.DeliveredAt = h.net.Eng.Now()
-	}
-	if hook := h.net.Hooks.OnDeliver; hook != nil {
-		hook(f, p.Seq, p.Payload)
+	if p.Seq == f.delivered {
+		f.delivered += int64(p.Payload)
+		h.net.dataDelivered++
+		if f.delivered >= f.Spec.Size {
+			f.DeliveredAt = h.net.Eng.Now()
+		}
+		if hook := h.net.Hooks.OnDeliver; hook != nil {
+			hook(f, p.Seq, p.Payload)
+		}
+	} else {
+		// Out of sequence: a gap means a drop upstream (go-back-N will
+		// refill it), below the cursor is a retransmit overlap. Discard
+		// the payload either way — the ACK below re-advertises the
+		// cumulative position, which the sender treats as a dup. On
+		// lossless paths delivery is FIFO, so this branch never runs and
+		// lossless behavior is unchanged.
+		h.net.dataOutOfSeq++
 	}
 
 	ack := h.net.getPacket()

@@ -1,0 +1,389 @@
+package net
+
+import (
+	"testing"
+
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// TestSendControlCoalesces checks the PFC wire-order fix at the queue
+// level: a control frame enqueued while the opposite kind is still queued
+// annihilates with it instead of overtaking it via PushFront.
+func TestSendControlCoalesces(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, 1)
+	h0, h1 := nw.AddHost(), nw.AddHost()
+	p01, _ := nw.Connect(h0, h1, gbps100, usec)
+	_ = h1
+
+	p01.busy = true // queued control frames cannot start transmitting
+
+	// Pause then Resume while both are stuck behind the busy transmitter:
+	// the peer never saw the Pause, so delivering neither is correct.
+	p01.sendPFC(Pause)
+	if p01.q.Len() != 1 {
+		t.Fatalf("queue len = %d after Pause, want 1", p01.q.Len())
+	}
+	p01.sendPFC(Resume)
+	if p01.q.Len() != 0 {
+		t.Fatalf("queue len = %d after Resume, want 0 (coalesced)", p01.q.Len())
+	}
+
+	// Duplicate same-kind frames collapse to one (defensive; pauseSent
+	// alternation should make this unreachable).
+	p01.sendPFC(Pause)
+	p01.sendPFC(Pause)
+	if p01.q.Len() != 1 {
+		t.Fatalf("queue len = %d after duplicate Pause, want 1", p01.q.Len())
+	}
+	p01.sendPFC(Resume)
+	if p01.q.Len() != 0 {
+		t.Fatalf("queue len = %d, want 0", p01.q.Len())
+	}
+
+	// Control coalescing must not disturb queued data.
+	data := nw.getPacket()
+	data.Kind = Data
+	data.Wire = 1000
+	p01.q.Push(data)
+	p01.sendPFC(Pause)
+	p01.sendPFC(Resume)
+	if p01.q.Len() != 1 || p01.q.buf[p01.q.head] != data {
+		t.Fatalf("data packet disturbed: len=%d", p01.q.Len())
+	}
+}
+
+// TestPFCResumeCannotOvertakePause is the end-to-end regression test for
+// the Pause/Resume reordering bug: both control frames are generated
+// while the reverse-direction transmitter is busy, which used to make the
+// PushFronted Resume overtake the queued Pause on the wire — the peer
+// processed Pause last and stayed paused forever (with pauseSent already
+// false, so no Resume would ever follow).
+func TestPFCResumeCannotOvertakePause(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, 1)
+	nw.PFCPauseBytes = 2000
+	nw.PFCResumeBytes = 1000
+	h0, h1 := nw.AddHost(), nw.AddHost()
+	sw := nw.AddSwitch()
+	sp0, _ := nw.Connect(sw, h0, gbps100, usec)
+	sp1, _ := nw.Connect(sw, h1, gbps100, usec)
+	sw.AddRoute(h0.NodeID(), sp0)
+	sw.AddRoute(h1.NodeID(), sp1)
+
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: h0.NodeID(), Dst: h1.NodeID(),
+		Size: 100_000, Start: 20 * usec}, algo)
+
+	// Occupy sp0 — the direction PFC frames to h0 travel — with a filler
+	// packet that serializes for 8 us, then cross the pause threshold and
+	// fall back below the resume threshold while it is still going.
+	eng.At(0, func() {
+		filler := nw.getPacket()
+		filler.Kind = Ack
+		filler.Flow = f
+		filler.Src = h1.NodeID()
+		filler.Dst = h0.NodeID()
+		filler.Wire = 100_000
+		sp0.send(filler)
+	})
+	eng.At(usec, func() {
+		sp0.chargeIngress(2500)
+		if !sp0.pauseSent {
+			t.Fatal("pause threshold crossing did not emit Pause")
+		}
+		sp0.creditIngress(2500)
+		if sp0.pauseSent {
+			t.Fatal("resume threshold crossing did not clear pauseSent")
+		}
+	})
+	eng.Run()
+	if h0.port.pausedBy {
+		t.Fatal("upstream port left paused forever: Resume overtook Pause on the wire")
+	}
+	if !f.Finished() {
+		t.Fatal("flow stalled behind a reordered PFC pause")
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetREDValidation(t *testing.T) {
+	_, nw, sw := star(t, 2, 1)
+	pt := sw.Ports()[0]
+	mustPanic := func(name string, cfg REDConfig) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: SetRED(%+v) did not panic", name, cfg)
+			}
+		}()
+		pt.SetRED(cfg)
+	}
+	mustPanic("negative KMin", REDConfig{KMinBytes: -1, KMaxBytes: 100, PMax: 0.5})
+	mustPanic("KMax below KMin", REDConfig{KMinBytes: 100, KMaxBytes: 50, PMax: 0.5})
+	mustPanic("zero PMax", REDConfig{KMinBytes: 10, KMaxBytes: 100, PMax: 0})
+	mustPanic("PMax above 1", REDConfig{KMinBytes: 10, KMaxBytes: 100, PMax: 1.5})
+	// Step config (KMax == KMin) is valid.
+	pt.SetRED(REDConfig{KMinBytes: 100, KMaxBytes: 100, PMax: 0.3})
+	pt.SetRED(REDConfig{KMinBytes: 10, KMaxBytes: 100, PMax: 1})
+	_ = nw
+}
+
+// TestREDStepConfigMarksWithPMax: KMax == KMin used to divide by zero
+// into a +Inf marking probability (always mark); it must behave as a step
+// function marking with PMax instead.
+func TestREDStepConfigMarksWithPMax(t *testing.T) {
+	eng, nw, sw := star(t, 3, 1)
+	const pmax = 0.3
+	sw.Ports()[0].SetRED(REDConfig{KMinBytes: 1, KMaxBytes: 1, PMax: pmax})
+	a1 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	a2 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	nw.AddFlow(FlowSpec{ID: 1, Src: 1, Dst: 0, Size: 500_000, Start: 0}, a1)
+	nw.AddFlow(FlowSpec{ID: 2, Src: 2, Dst: 0, Size: 500_000, Start: 0}, a2)
+	eng.Run()
+	sent := nw.Stats().DataSent
+	marks := nw.Stats().ECNMarks
+	if marks == 0 {
+		t.Fatal("step RED config never marked")
+	}
+	// Every packet is above the 1-byte threshold, so the mark rate must
+	// track PMax — not the 100% an +Inf probability produced.
+	rate := float64(marks) / float64(sent)
+	if rate < pmax/2 || rate > pmax*2 {
+		t.Fatalf("mark rate = %.2f with PMax %.2f; step config not honored", rate, pmax)
+	}
+}
+
+// TestMarkECNCountsArrivingPacket: the instantaneous queue RED compares
+// against must include the arriving packet itself, so the first packet
+// into an empty queue can be marked when thresholds say so.
+func TestMarkECNCountsArrivingPacket(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, 1)
+	h0, h1 := nw.AddHost(), nw.AddHost()
+	sw := nw.AddSwitch()
+	sp0, _ := nw.Connect(sw, h0, gbps100, usec)
+	sp1, _ := nw.Connect(sw, h1, gbps100, usec)
+	sw.AddRoute(h0.NodeID(), sp0)
+	sw.AddRoute(h1.NodeID(), sp1)
+	// One MTU packet is 1048 wire bytes: above KMin even alone, and PMax 1
+	// makes marking deterministic.
+	sp1.SetRED(REDConfig{KMinBytes: 500, KMaxBytes: 501, PMax: 1})
+
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1000, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: h0.NodeID(), Dst: h1.NodeID(), Size: 1000, Start: 0}, algo)
+	eng.Run()
+	if !f.Finished() {
+		t.Fatal("flow did not finish")
+	}
+	// The single packet always finds an empty queue; before the fix its
+	// own bytes were invisible and it could never be marked.
+	if nw.Stats().ECNMarks != 1 {
+		t.Fatalf("ECN marks = %d, want 1 (arriving packet's bytes must count)", nw.Stats().ECNMarks)
+	}
+}
+
+// TestTailDropAtFiniteBuffer: a 2:1 overload into a small finite buffer
+// must drop, keep the queue capped, and still complete every flow via
+// loss recovery.
+func TestTailDropAtFiniteBuffer(t *testing.T) {
+	eng, nw, sw := star(t, 3, 1)
+	nw.BufferBytes = 20_000
+	nw.LossRecovery = true
+	a1 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	a2 := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	nw.AddFlow(FlowSpec{ID: 1, Src: 1, Dst: 0, Size: 200_000, Start: 0}, a1)
+	nw.AddFlow(FlowSpec{ID: 2, Src: 2, Dst: 0, Size: 200_000, Start: 0}, a2)
+	eng.Run()
+	if !nw.AllFinished() {
+		t.Fatal("flows did not finish under tail drop + loss recovery")
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if st.BufferDrops == 0 {
+		t.Fatal("2:1 overload into a 20 KB buffer never tail-dropped")
+	}
+	if st.Retransmits == 0 || st.RTOFires == 0 {
+		t.Fatalf("recovery counters: retransmits=%d rtoFires=%d, want both > 0",
+			st.Retransmits, st.RTOFires)
+	}
+	if peak := sw.Ports()[0].QueuePeak(); peak > nw.BufferBytes {
+		t.Fatalf("queue peaked at %d bytes past the %d buffer", peak, nw.BufferBytes)
+	}
+	if st.DataDrops+st.AckDrops != st.BufferDrops+st.WireDrops {
+		t.Fatalf("drop breakdowns disagree: %+v", st)
+	}
+}
+
+// TestRTORecoversDroppedDataAndAck: one dropped data packet mid-flow and
+// the dropped final ACK both force RTO-driven go-back-N; the flow still
+// completes with exact delivery.
+func TestRTORecoversDroppedDataAndAck(t *testing.T) {
+	eng, nw, _ := star(t, 2, 1)
+	nw.LossRecovery = true
+	const size = 50_000
+	droppedData, droppedAck := false, false
+	nw.DropFilter = func(kind Kind, flowID int, seq int64) bool {
+		if kind == Data && seq == 5000 && !droppedData {
+			droppedData = true
+			return true
+		}
+		// The final cumulative ACK: without it the sender can only finish
+		// through a timeout-driven resend.
+		if kind == Ack && seq == size && !droppedAck {
+			droppedAck = true
+			return true
+		}
+		return false
+	}
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 30_000, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: 0, Dst: 1, Size: size, Start: 0}, algo)
+	eng.Run()
+	if !f.Finished() {
+		t.Fatal("flow did not recover from a dropped data packet + dropped ACK")
+	}
+	if !droppedData || !droppedAck {
+		t.Fatalf("fault filter never fired: data=%v ack=%v", droppedData, droppedAck)
+	}
+	if f.Delivered() != size {
+		t.Fatalf("delivered = %d, want %d", f.Delivered(), size)
+	}
+	st := nw.Stats()
+	if st.WireDrops != 2 || st.DataDrops != 1 || st.AckDrops != 1 {
+		t.Fatalf("drop counters: %+v", st)
+	}
+	if f.Timeouts < 2 {
+		t.Fatalf("timeouts = %d, want >= 2 (one per injected loss)", f.Timeouts)
+	}
+	if f.Retransmits == 0 || st.Retransmits == 0 {
+		t.Fatal("no retransmits recorded")
+	}
+	if st.DupAcks == 0 || st.DataOutOfSeq == 0 {
+		t.Fatalf("receiver-side loss evidence missing: %+v", st)
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomLossCompletes: random data and ACK loss on every link, same
+// seed twice — both runs finish, agree bit-for-bit, and leave the
+// loss counters nonzero.
+func TestRandomLossCompletes(t *testing.T) {
+	run := func() ([]sim.Time, NetworkStats) {
+		eng, nw, _ := star(t, 3, 7)
+		nw.LossRecovery = true
+		nw.DropDataProb = 0.01
+		nw.DropAckProb = 0.01
+		for i := 1; i <= 2; i++ {
+			algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 100_000, RateBps: gbps100}}
+			nw.AddFlow(FlowSpec{ID: i, Src: i, Dst: 0, Size: 100_000, Start: 0}, algo)
+		}
+		eng.Run()
+		if !nw.AllFinished() {
+			t.Fatal("flows did not finish under random loss")
+		}
+		if err := nw.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		var fct []sim.Time
+		for _, f := range nw.Flows() {
+			fct = append(fct, f.FinishedAt)
+		}
+		return fct, nw.Stats()
+	}
+	fctA, stA := run()
+	fctB, stB := run()
+	if stA.WireDrops == 0 {
+		t.Fatal("1% loss probability never dropped on a 200-packet workload")
+	}
+	if stA != stB {
+		t.Fatalf("lossy run not deterministic:\n%+v\n%+v", stA, stB)
+	}
+	for i := range fctA {
+		if fctA[i] != fctB[i] {
+			t.Fatalf("flow %d finished %v vs %v across identical seeds", i, fctA[i], fctB[i])
+		}
+	}
+}
+
+// TestLinkFlapRecovery: a link-down window in the middle of a flow drops
+// everything serialized during it; the flow times out and completes after
+// the link returns.
+func TestLinkFlapRecovery(t *testing.T) {
+	eng, nw, _ := star(t, 2, 1)
+	nw.LossRecovery = true
+	h0 := nw.Hosts()[0]
+	h0.Port().ScheduleFlap(10*usec, 50*usec)
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 100_000, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 500_000, Start: 0}, algo)
+	eng.Run()
+	if !f.Finished() {
+		t.Fatal("flow did not survive a 50 us link-down window")
+	}
+	st := nw.Stats()
+	if st.WireDrops == 0 {
+		t.Fatal("link-down window dropped nothing")
+	}
+	if f.Timeouts == 0 {
+		t.Fatal("no RTO fired across the down window")
+	}
+	if f.Delivered() != 500_000 {
+		t.Fatalf("delivered = %d, want 500000", f.Delivered())
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// The flow must have lost at least the down window to recovery.
+	if f.FCT() < 60*usec {
+		t.Fatalf("FCT %v implausibly short for a 50 us outage starting at 10 us", f.FCT())
+	}
+}
+
+// TestDropCreditsPFCIngress: a tail drop of a packet that already charged
+// PFC ingress accounting must credit it back, or the upstream stays
+// paused forever on bytes that no longer exist.
+func TestDropCreditsPFCIngress(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, 1)
+	nw.PFCPauseBytes = 50_000
+	nw.PFCResumeBytes = 25_000
+	nw.LossRecovery = true
+	// Dumbbell with a 10G bottleneck and a tiny bottleneck buffer: the
+	// fast first hop charges ingress for packets the slow egress then
+	// tail-drops.
+	h0, h1 := nw.AddHost(), nw.AddHost()
+	sw1, sw2 := nw.AddSwitch(), nw.AddSwitch()
+	s1h, _ := nw.Connect(sw1, h0, gbps100, usec)
+	s1s2, s2s1 := nw.Connect(sw1, sw2, 10e9, usec)
+	s2h, _ := nw.Connect(sw2, h1, gbps100, usec)
+	sw1.AddRoute(h0.NodeID(), s1h)
+	sw1.AddRoute(h1.NodeID(), s1s2)
+	sw2.AddRoute(h0.NodeID(), s2s1)
+	sw2.AddRoute(h1.NodeID(), s2h)
+	s1s2.SetBuffer(10_000)
+
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: h0.NodeID(), Dst: h1.NodeID(),
+		Size: 500_000, Start: 0}, algo)
+	eng.Run()
+	if !f.Finished() {
+		t.Fatal("flow wedged: dropped packets left PFC ingress bytes charged")
+	}
+	st := nw.Stats()
+	if st.BufferDrops == 0 {
+		t.Fatal("10 KB bottleneck buffer at a 10:1 speed mismatch never dropped")
+	}
+	if s1s2.ingressBytes != 0 || s1h.ingressBytes != 0 {
+		t.Fatalf("residual ingress accounting after drain: s1s2=%d s1h=%d",
+			s1s2.ingressBytes, s1h.ingressBytes)
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}

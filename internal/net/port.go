@@ -1,6 +1,8 @@
 package net
 
 import (
+	"fmt"
+
 	"faircc/internal/cc"
 	"faircc/internal/sim"
 )
@@ -28,9 +30,11 @@ type Port struct {
 	q        queue
 	busy     bool
 	pausedBy bool // peer sent PFC Pause: hold data (control still flows)
+	down     bool // link down: packets completing serialization are lost
 	txBytes  int64
 	stampINT bool       // owner is a switch: stamp telemetry on data dequeue
 	red      *REDConfig // ECN marking at enqueue when set
+	bufBytes int64      // egress buffer override; 0 falls back to Network.BufferBytes
 
 	// PFC ingress-side accounting (switch owners only): bytes currently
 	// buffered in this node that arrived through this port.
@@ -58,8 +62,10 @@ type Port struct {
 func (pt *Port) PausesSent() int64 { return pt.pausesSent }
 
 // REDConfig is instantaneous-queue RED/ECN marking: packets are marked
-// with probability PMax * (q-KMin)/(KMax-KMin) between the thresholds and
-// always above KMax, as DCQCN configures switches.
+// with probability PMax * (q-KMin)/(KMax-KMin) between the thresholds
+// (reaching exactly PMax at KMax) and always above KMax, as DCQCN
+// configures switches. The occupancy q includes the arriving packet.
+// KMax == KMin is a step function: mark with PMax above the threshold.
 type REDConfig struct {
 	KMinBytes int64
 	KMaxBytes int64
@@ -88,11 +94,42 @@ func (pt *Port) ResetQueuePeak() { pt.q.PeakReset() }
 // TxBytes returns cumulative bytes transmitted on the port.
 func (pt *Port) TxBytes() int64 { return pt.txBytes }
 
-// SetRED enables ECN marking on the egress queue.
-func (pt *Port) SetRED(cfg REDConfig) { pt.red = &cfg }
+// SetRED enables ECN marking on the egress queue. It panics on a config
+// that cannot express a marking probability: negative KMin, KMax below
+// KMin, or PMax outside (0, 1]. KMax == KMin is a valid step function
+// (mark with PMax at and above the threshold).
+func (pt *Port) SetRED(cfg REDConfig) {
+	if cfg.KMinBytes < 0 || cfg.KMaxBytes < cfg.KMinBytes {
+		panic(fmt.Sprintf("net: invalid RED thresholds KMin=%d KMax=%d", cfg.KMinBytes, cfg.KMaxBytes))
+	}
+	if cfg.PMax <= 0 || cfg.PMax > 1 {
+		panic(fmt.Sprintf("net: invalid RED PMax=%g (want 0 < PMax <= 1)", cfg.PMax))
+	}
+	pt.red = &cfg
+}
 
-// send enqueues a packet for transmission toward the peer.
+// SetBuffer caps this egress queue at the given wire bytes, overriding
+// Network.BufferBytes. Zero restores the network-wide setting.
+func (pt *Port) SetBuffer(bytes int64) { pt.bufBytes = bytes }
+
+// bufferLimit returns the effective egress buffer cap (0 = unbounded).
+func (pt *Port) bufferLimit() int64 {
+	if pt.bufBytes > 0 {
+		return pt.bufBytes
+	}
+	return pt.net.BufferBytes
+}
+
+// send enqueues a packet for transmission toward the peer, tail-dropping
+// it when a finite egress buffer is full. PFC control frames are exempt
+// from the cap: they are 64 bytes, jump the queue anyway, and dropping
+// one would wedge the pause protocol.
 func (pt *Port) send(p *Packet) {
+	if lim := pt.bufferLimit(); lim > 0 && p.Kind != Pause && p.Kind != Resume &&
+		pt.q.Bytes()+int64(p.Wire) > lim {
+		pt.net.drop(p, DropTail)
+		return
+	}
 	if pt.red != nil && p.Kind == Data {
 		pt.markECN(p)
 	}
@@ -100,20 +137,56 @@ func (pt *Port) send(p *Packet) {
 	pt.kick()
 }
 
-// sendControl enqueues a PFC control frame ahead of any queued data.
+// sendControl enqueues a PFC control frame ahead of any queued data,
+// coalescing against a control frame that is still queued so Pause and
+// Resume can never reorder on the wire.
+//
+// A queued-but-not-yet-transmitting control frame is always at the queue
+// head: control frames are the only PushFront users and kick pops them
+// even while paused, so nothing can get in front of one. Pause and
+// Resume strictly alternate per port (pauseSent gates both directions),
+// so a queued frame of the opposite kind annihilates with the new one —
+// the peer never saw the first frame, and delivering neither leaves it in
+// the correct current state. Without this, a Resume PushFronted while a
+// Pause was queued behind a busy transmitter overtook it on the wire and
+// the peer processed Pause last: paused forever, with pauseSent already
+// false so no Resume would ever follow.
 func (pt *Port) sendControl(p *Packet) {
+	if pt.q.Len() > 0 {
+		if head := pt.q.buf[pt.q.head]; head.Kind == Pause || head.Kind == Resume {
+			if head.Kind == p.Kind {
+				// Duplicate (defensive: alternation should prevent it);
+				// the queued frame already says this.
+				pt.net.putPacket(p)
+				return
+			}
+			pt.q.Pop()
+			pt.net.putPacket(head)
+			pt.net.putPacket(p)
+			return
+		}
+	}
 	pt.q.PushFront(p)
 	pt.kick()
 }
 
 func (pt *Port) markECN(p *Packet) {
-	q := pt.q.Bytes()
+	// Instantaneous queue including the arriving packet itself, as a real
+	// switch (and the DCQCN model) sees it at enqueue time. Sampling
+	// before Push meant the first packet into an empty queue could never
+	// be marked regardless of thresholds.
+	q := pt.q.Bytes() + int64(p.Wire)
 	r := pt.red
 	if q <= r.KMinBytes {
 		return
 	}
 	prob := 1.0
-	if q < r.KMaxBytes {
+	switch {
+	case r.KMaxBytes == r.KMinBytes:
+		// Step config: a single threshold marks with PMax, not the +Inf
+		// the ramp formula used to divide its way into.
+		prob = r.PMax
+	case q <= r.KMaxBytes:
 		prob = r.PMax * float64(q-r.KMinBytes) / float64(r.KMaxBytes-r.KMinBytes)
 	}
 	if pt.net.rand.Float64() < prob {
@@ -162,10 +235,43 @@ func (pt *Port) finishTx(p *Packet) {
 		p.ingress.creditIngress(int64(p.Wire))
 		p.ingress = nil
 	}
+	if pt.down || pt.net.dropInTransit(p) {
+		cause := DropWire
+		if pt.down {
+			cause = DropLinkDown
+		}
+		pt.net.drop(p, cause)
+		pt.busy = false
+		pt.kick()
+		return
+	}
 	p.dest = pt.peer
 	pt.net.Eng.After(pt.delay, p.arrive)
 	pt.busy = false
 	pt.kick()
+}
+
+// LinkDown reports whether the port's transmit direction is down.
+func (pt *Port) LinkDown() bool { return pt.down }
+
+// SetLinkDown takes the port's transmit direction down (packets that
+// finish serialization while down are lost) or brings it back up. The
+// transmitter keeps draining either way, so a down window behaves like a
+// span of pure loss rather than a stalled queue; packets already
+// propagating when the link goes down still arrive.
+func (pt *Port) SetLinkDown(down bool) {
+	pt.down = down
+	if !down {
+		pt.kick()
+	}
+}
+
+// ScheduleFlap schedules a link-down window [at, at+duration) on the
+// port's transmit direction. Flows crossing the window need
+// Network.LossRecovery to survive it.
+func (pt *Port) ScheduleFlap(at sim.Time, duration sim.Time) {
+	pt.net.Eng.At(at, func() { pt.SetLinkDown(true) })
+	pt.net.Eng.At(at+duration, func() { pt.SetLinkDown(false) })
 }
 
 // chargeIngress attributes wire bytes buffered in the owner to this
