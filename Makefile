@@ -1,7 +1,7 @@
 # Convenience wrappers around the Go-native CI gate (cmd/ci), so the same
 # checks run with or without make installed.
 
-.PHONY: verify test bench bench-baseline bench-compare
+.PHONY: verify test bench bench-baseline bench-compare profile
 
 # The verification gate every PR must keep green: build, vet, gofmt,
 # race-enabled tests of the concurrency-bearing packages, and a 1-iteration
@@ -14,7 +14,7 @@ test:
 
 # Run the scheduler microbenchmarks and the end-to-end simulation benches.
 bench:
-	go test -run '^$$' -bench 'BenchmarkEngine|BenchmarkIncastSmall' -benchmem ./internal/sim .
+	go test -run '^$$' -bench 'BenchmarkEngine|BenchmarkIncastSmall|BenchmarkFabric|BenchmarkSteadyState' -benchmem ./internal/sim ./internal/net .
 
 # Record a benchmark baseline (BENCH_baseline.json): microbenches plus a
 # timed fig10-medium experiment run.
@@ -24,4 +24,12 @@ bench-baseline:
 # Re-measure and gate against the committed baseline; non-zero exit when
 # events/sec regresses (or allocs/op grows) by more than 5%.
 bench-compare:
-	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_baseline.json
+	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr4.json
+
+# Profile the reference workload (fig10-medium): cpu.pprof + heap.pprof into
+# results/profiles/, the pair the PGO build and the perf notes come from.
+# Inspect with `go tool pprof results/profiles/cpu.pprof`.
+profile:
+	go build -o /tmp/fairsim-profile ./cmd/fairsim
+	/tmp/fairsim-profile -exp fig10 -scale medium -seed 1 -pprof results/profiles -out /tmp/fairsim-profile-out
+	rm -rf /tmp/fairsim-profile /tmp/fairsim-profile-out

@@ -43,7 +43,7 @@ import (
 func main() {
 	var (
 		bench     = flag.Bool("bench", false, "run benchmarks + a timed experiment and write a BENCH JSON")
-		benchPkg  = flag.String("bench-pkgs", "./internal/sim", "space-separated packages for -bench")
+		benchPkg  = flag.String("bench-pkgs", "./internal/sim ./internal/net", "space-separated packages for -bench")
 		benchOut  = flag.String("bench-out", "BENCH_baseline.json", "benchmark JSON output path")
 		benchExp  = flag.String("bench-exp", "fig10", "experiment for the timed end-to-end run")
 		benchScl  = flag.String("bench-scale", "medium", "scale for the timed experiment run")
@@ -62,7 +62,7 @@ func main() {
 		{"gofmt", []string{"gofmt", "-l", "."}},
 		{"test", []string{"go", "test", "./..."}},
 		{"race", []string{"go", "test", "-race", "-short", "./..."}},
-		{"bench-smoke", []string{"go", "test", "-run", "^$", "-bench", ".", "-benchtime", "1x", "./internal/sim"}},
+		{"bench-smoke", []string{"go", "test", "-run", "^$", "-bench", ".", "-benchtime", "1x", "./internal/sim", "./internal/net"}},
 	}
 	failed := 0
 	for _, s := range steps {

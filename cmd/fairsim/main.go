@@ -4,7 +4,7 @@
 // Usage:
 //
 //	fairsim -list
-//	fairsim -exp fig1a [-scale small|medium|full] [-seed 1] [-out dir]
+//	fairsim -exp fig1a [-scale small|medium|large|full] [-seed 1] [-out dir]
 //	fairsim -all [-scale medium] [-out results]
 //	fairsim -exp fig10 -progress -manifest [-pprof profiles]
 //	fairsim -exp incast-lossy -buffer-bytes 150000 -drop-data 5e-4 -drop-ack 5e-4
@@ -40,7 +40,7 @@ func run() int {
 		list   = flag.Bool("list", false, "list experiment names and exit")
 		name   = flag.String("exp", "", "experiment to run (e.g. fig1a)")
 		all    = flag.Bool("all", false, "run every registered experiment")
-		scale  = flag.String("scale", "medium", "datacenter experiment scale: small, medium, or full")
+		scale  = flag.String("scale", "medium", "datacenter experiment scale: small, medium, large, or full")
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		out    = flag.String("out", "", "directory for CSV output (default: stdout summary only)")
 		work   = flag.Int("workers", 0, "parallel variant runners (0 = GOMAXPROCS)")

@@ -66,6 +66,12 @@ type DCQCN struct {
 	lastAcked  int64
 	lastCNP    sim.Time
 	cnpSeen    bool // CNP since the last alpha-timer expiration
+
+	// alphaTick and rateTick are the timer bodies bound once in Init:
+	// passing a fresh method value (d.alphaTimer) to Schedule on every
+	// expiration allocated a funcval per tick.
+	alphaTick func()
+	rateTick  func()
 }
 
 // New returns a DCQCN instance.
@@ -88,8 +94,10 @@ func (d *DCQCN) Init(env cc.Env) cc.Control {
 	d.alpha = 1
 	d.lastCNP = -sim.Second
 	if env.Schedule != nil {
-		env.Schedule(d.cfg.AlphaTimer, d.alphaTimer)
-		env.Schedule(d.cfg.RateTimer, d.rateTimer)
+		d.alphaTick = d.alphaTimer
+		d.rateTick = d.rateTimer
+		env.Schedule(d.cfg.AlphaTimer, d.alphaTick)
+		env.Schedule(d.cfg.RateTimer, d.rateTick)
 	}
 	return d.control()
 }
@@ -110,13 +118,13 @@ func (d *DCQCN) alphaTimer() {
 		d.alpha = (1 - d.cfg.G) * d.alpha
 	}
 	d.cnpSeen = false
-	d.env.Schedule(d.cfg.AlphaTimer, d.alphaTimer)
+	d.env.Schedule(d.cfg.AlphaTimer, d.alphaTick)
 }
 
 func (d *DCQCN) rateTimer() {
 	d.timerCnt++
 	d.increase()
-	d.env.Schedule(d.cfg.RateTimer, d.rateTimer)
+	d.env.Schedule(d.cfg.RateTimer, d.rateTick)
 	d.env.SetControl(d.control())
 }
 

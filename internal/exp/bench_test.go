@@ -1,0 +1,32 @@
+package exp
+
+import (
+	"testing"
+)
+
+// BenchmarkFig10Large times the paper-scale experiment at the "large"
+// scale: the full 320-host fat-tree with 1 ms of traffic — the forwarding
+// tables, ECMP fan-out, and flow churn of a `-scale full` run at a
+// benchmarkable duration. It reports engine throughput and the two
+// hot-path allocation counters the fast-path work keeps at zero.
+func BenchmarkFig10Large(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.Scale = "large"
+	cfg.Seed = 1
+	var events, slotAllocs uint64
+	var poolAllocs int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, rs, err := RunWithStats("fig10", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += rs.Events
+		slotAllocs += rs.EventSlotAllocs
+		poolAllocs += rs.PoolAllocs
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	b.ReportMetric(float64(slotAllocs)/float64(b.N), "slot-allocs/run")
+	b.ReportMetric(float64(poolAllocs)/float64(b.N), "pool-allocs/run")
+}

@@ -204,7 +204,7 @@ func TestDCScaleValidation(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown scale must error")
 	}
-	for _, s := range []string{"small", "medium", "full", ""} {
+	for _, s := range []string{"small", "medium", "large", "full", ""} {
 		if _, _, err := dcScale(Config{Scale: s}); err != nil {
 			t.Fatalf("scale %q rejected: %v", s, err)
 		}

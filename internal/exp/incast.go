@@ -45,8 +45,11 @@ type incastOut struct {
 func starMinBDP(senders int) float64 {
 	nw := net.New(sim.NewEngine(), 0)
 	st := topo.NewStar(nw, senders+1, hostRate, linkDelay)
-	_, baseRTT, _ := nw.ProbePath(net.FlowSpec{
+	_, baseRTT, _, err := nw.ProbePath(net.FlowSpec{
 		ID: 1, Src: st.Hosts[0].NodeID(), Dst: st.Hosts[senders].NodeID(), Size: 1})
+	if err != nil {
+		panic(err) // the star we just built is always probeable
+	}
 	return 0.8 * hostRate / 8 * baseRTT.Seconds()
 }
 

@@ -190,10 +190,14 @@ func BucketBySize(records []FlowRecord, nBuckets int, pct float64) []SizeBucket 
 		for _, rec := range sorted[lo:hi] {
 			slow = append(slow, rec.Slowdown)
 		}
+		// Sort the scratch in place and use the Sorted variant: Percentile
+		// would copy and re-sort the slice on every one of the (up to 100)
+		// bucket calls.
+		sort.Float64s(slow)
 		buckets = append(buckets, SizeBucket{
 			MaxSize:  sorted[hi-1].Size,
 			Count:    hi - lo,
-			Slowdown: stats.Percentile(slow, pct),
+			Slowdown: stats.PercentileSorted(slow, pct),
 		})
 	}
 	return buckets
@@ -212,7 +216,8 @@ func SlowdownAbove(records []FlowRecord, minSize int64, pct float64) (float64, e
 	if len(xs) == 0 {
 		return 0, fmt.Errorf("metrics: no flows larger than %d bytes", minSize)
 	}
-	return stats.Percentile(xs, pct), nil
+	sort.Float64s(xs)
+	return stats.PercentileSorted(xs, pct), nil
 }
 
 // StartFinish extracts (start, finish) pairs for the staggered-incast

@@ -2,11 +2,14 @@ package metrics
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 
 	"faircc/internal/cc"
 	"faircc/internal/net"
 	"faircc/internal/sim"
+	"faircc/internal/stats"
 )
 
 type fixedAlgo struct{ ctl cc.Control }
@@ -237,6 +240,59 @@ func TestSampleUtilization(t *testing.T) {
 	for _, p := range s.Points {
 		if p.V > 1.01 {
 			t.Fatalf("utilization %v exceeds capacity", p.V)
+		}
+	}
+}
+
+// TestPercentileSortedMatchesReference pins the sort-once fast path in
+// BucketBySize and SlowdownAbove to the reference stats.Percentile on the
+// same (unsorted) data: the optimization must be invisible in the output.
+func TestPercentileSortedMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	recs := make([]FlowRecord, 997) // non-round count: uneven buckets
+	for i := range recs {
+		recs[i] = FlowRecord{
+			ID:       i,
+			Size:     int64(rng.Intn(5_000_000) + 1),
+			Slowdown: 1 + rng.Float64()*40,
+		}
+	}
+	for _, pct := range []float64{0, 25, 50, 95, 99.9, 100} {
+		buckets := BucketBySize(recs, 100, pct)
+		ref := append([]FlowRecord(nil), recs...)
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].Size != ref[j].Size {
+				return ref[i].Size < ref[j].Size
+			}
+			return ref[i].ID < ref[j].ID
+		})
+		for b := 0; b < 100; b++ {
+			lo, hi := b*len(ref)/100, (b+1)*len(ref)/100
+			if lo == hi {
+				continue
+			}
+			var slow []float64
+			for _, r := range ref[lo:hi] {
+				slow = append(slow, r.Slowdown)
+			}
+			want := stats.Percentile(slow, pct)
+			if got := buckets[b].Slowdown; got != want {
+				t.Fatalf("pct=%v bucket %d: got %v, want reference %v", pct, b, got, want)
+			}
+		}
+
+		var tail []float64
+		for _, r := range recs {
+			if r.Size > 2_000_000 {
+				tail = append(tail, r.Slowdown)
+			}
+		}
+		got, err := SlowdownAbove(recs, 2_000_000, pct)
+		if err != nil {
+			t.Fatalf("SlowdownAbove: %v", err)
+		}
+		if want := stats.Percentile(tail, pct); got != want {
+			t.Fatalf("pct=%v SlowdownAbove: got %v, want reference %v", pct, got, want)
 		}
 	}
 }

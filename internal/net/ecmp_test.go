@@ -1,0 +1,267 @@
+package net
+
+import (
+	"testing"
+
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// leafSpine builds a two-tier Clos: nTors ToRs with hostsPerTor hosts
+// each, fully meshed to nSpines spines. ToRs reach remote hosts through an
+// ECMP group over every uplink; spines reach each host through the one
+// downlink to its ToR.
+func leafSpine(t *testing.T, nTors, hostsPerTor, nSpines int) (*sim.Engine, *Network, []*Host, []*Switch, []*Switch) {
+	t.Helper()
+	eng := sim.NewEngine()
+	nw := New(eng, 1)
+	tors := make([]*Switch, nTors)
+	spines := make([]*Switch, nSpines)
+	var hosts []*Host
+	hostPorts := make(map[int]*Port) // host id -> its ToR's downlink
+	for i := range tors {
+		tors[i] = nw.AddSwitch()
+	}
+	for i := range spines {
+		spines[i] = nw.AddSwitch()
+	}
+	uplinks := make([][]*Port, nTors)     // tor -> spine-facing ports
+	downlinks := make([][]*Port, nSpines) // spine -> tor-facing ports, by tor
+	for ti, tor := range tors {
+		for _, sp := range spines {
+			up, down := nw.Connect(tor, sp, gbps100, usec)
+			uplinks[ti] = append(uplinks[ti], up)
+			downlinks[ti] = append(downlinks[ti], down)
+		}
+	}
+	for ti, tor := range tors {
+		for h := 0; h < hostsPerTor; h++ {
+			host := nw.AddHost()
+			hosts = append(hosts, host)
+			tp, _ := nw.Connect(tor, host, gbps100, usec)
+			hostPorts[host.NodeID()] = tp
+			tor.AddRoute(host.NodeID(), tp)
+			for si := range spines {
+				spines[si].AddRoute(host.NodeID(), downlinks[ti][si])
+			}
+		}
+	}
+	// Remote-host ECMP groups, installed after every host exists.
+	for ti, tor := range tors {
+		for _, host := range hosts {
+			if hostPorts[host.NodeID()].owner == tor {
+				continue
+			}
+			_ = ti
+			tor.AddRoute(host.NodeID(), uplinks[ti]...)
+		}
+	}
+	return eng, nw, hosts, tors, spines
+}
+
+// TestECMPHashUniformity bounds the per-port deviation of the flow hash:
+// over many flow ids each group member must receive close to its fair
+// share, or paper-scale fat-trees would systematically overload links.
+func TestECMPHashUniformity(t *testing.T) {
+	const flows = 100_000
+	for _, n := range []int{2, 4, 8, 16} {
+		for _, swID := range []int{0, 7, 129} {
+			counts := make([]int, n)
+			for id := 0; id < flows; id++ {
+				j := ecmpHash(id, swID, n)
+				if j < 0 || j >= n {
+					t.Fatalf("ecmpHash(%d,%d,%d) = %d out of range", id, swID, n, j)
+				}
+				counts[j]++
+			}
+			mean := float64(flows) / float64(n)
+			for j, c := range counts {
+				dev := (float64(c) - mean) / mean
+				if dev < -0.05 || dev > 0.05 {
+					t.Fatalf("n=%d sw=%d port %d: count %d deviates %.1f%% from mean %.0f",
+						n, swID, j, c, dev*100, mean)
+				}
+			}
+		}
+	}
+}
+
+// TestECMPHashLayerDecorrelation checks that consecutive switch layers make
+// independent choices for the same flow: if layer choices were correlated,
+// a fat-tree's spine layer would see only a fraction of its paths used.
+func TestECMPHashLayerDecorrelation(t *testing.T) {
+	const flows = 80_000
+	const n = 4
+	joint := make([]int, n*n)
+	for id := 0; id < flows; id++ {
+		a := ecmpHash(id, 3, n)
+		b := ecmpHash(id, 11, n)
+		joint[a*n+b]++
+	}
+	mean := float64(flows) / float64(n*n)
+	for k, c := range joint {
+		dev := (float64(c) - mean) / mean
+		if dev < -0.10 || dev > 0.10 {
+			t.Fatalf("combo (%d,%d): count %d deviates %.1f%% from mean %.0f",
+				k/n, k%n, c, dev*100, mean)
+		}
+	}
+}
+
+// walkRoute replays the per-hop reference lookup from src toward dst and
+// returns the egress port chosen at every switch.
+func walkRoute(t *testing.T, from *Host, dst, flowID int) []*Port {
+	t.Helper()
+	var path []*Port
+	port := from.port
+	for steps := 0; ; steps++ {
+		if steps > 64 {
+			t.Fatalf("routing loop toward host %d", dst)
+		}
+		switch node := port.peer.owner.(type) {
+		case *Host:
+			if node.id != dst {
+				t.Fatalf("walk reached host %d, want %d", node.id, dst)
+			}
+			return path
+		case *Switch:
+			out := node.lookupRoute(dst, flowID)
+			if out == nil {
+				t.Fatalf("switch %d: no route to host %d", node.id, dst)
+			}
+			path = append(path, out)
+			port = out
+		}
+	}
+}
+
+// TestFlatPathMatchesRoute is the regression tying the two forwarding
+// implementations together: the path pre-resolved at AddFlow (and stamped
+// onto every packet) must be bit-identical to what the per-hop reference
+// lookup would choose, for data and for ACKs, across many flow ids.
+func TestFlatPathMatchesRoute(t *testing.T) {
+	eng, nw, hosts, _, _ := leafSpine(t, 4, 4, 4)
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	var flows []*Flow
+	for id := 1; id <= 200; id++ {
+		src := hosts[id%len(hosts)]
+		dst := hosts[(id*7+5)%len(hosts)]
+		if src == dst {
+			continue
+		}
+		flows = append(flows, nw.AddFlow(FlowSpec{
+			ID: id, Src: src.NodeID(), Dst: dst.NodeID(), Size: 4000,
+		}, algo))
+	}
+	for _, f := range flows {
+		if f.pathEpoch != nw.routeEpoch {
+			t.Fatalf("flow %d: pathEpoch %d != routeEpoch %d (flat path not armed)",
+				f.Spec.ID, f.pathEpoch, nw.routeEpoch)
+		}
+		src, dst := nw.hostByID(f.Spec.Src), nw.hostByID(f.Spec.Dst)
+		wantFwd := walkRoute(t, src, f.Spec.Dst, f.Spec.ID)
+		wantRev := walkRoute(t, dst, f.Spec.Src, f.Spec.ID)
+		if len(f.fwdPath) != len(wantFwd) {
+			t.Fatalf("flow %d: fwdPath len %d, want %d", f.Spec.ID, len(f.fwdPath), len(wantFwd))
+		}
+		for i := range wantFwd {
+			if f.fwdPath[i] != wantFwd[i] {
+				t.Fatalf("flow %d: fwdPath[%d] differs from reference route()", f.Spec.ID, i)
+			}
+		}
+		if len(f.revPath) != len(wantRev) {
+			t.Fatalf("flow %d: revPath len %d, want %d", f.Spec.ID, len(f.revPath), len(wantRev))
+		}
+		for i := range wantRev {
+			if f.revPath[i] != wantRev[i] {
+				t.Fatalf("flow %d: revPath[%d] differs from reference route()", f.Spec.ID, i)
+			}
+		}
+	}
+	// The paths must also deliver: run the traffic to completion.
+	eng.Run()
+	for _, f := range flows {
+		if !f.Finished() {
+			t.Fatalf("flow %d did not finish over its flat path", f.Spec.ID)
+		}
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlatPathStaleEpochFallsBack: a route installed after AddFlow bumps
+// the epoch, so stamped paths go stale and forwarding must fall back to
+// per-hop lookups rather than trusting a pre-change path.
+func TestFlatPathStaleEpochFallsBack(t *testing.T) {
+	eng, nw, hosts, tors, _ := leafSpine(t, 2, 2, 2)
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{
+		ID: 1, Src: hosts[0].NodeID(), Dst: hosts[2].NodeID(), Size: 20_000,
+	}, algo)
+	// Re-install an existing route: contents identical, epoch bumped.
+	tors[0].AddRoute(hosts[0].NodeID(), hosts[0].port.peer)
+	if f.pathEpoch == nw.routeEpoch {
+		t.Fatal("epoch bump not visible to the flow")
+	}
+	eng.Run()
+	if !f.Finished() {
+		t.Fatal("flow with stale path epoch did not finish")
+	}
+}
+
+func TestHostByID(t *testing.T) {
+	_, nw, hosts, tors, _ := leafSpine(t, 2, 2, 2)
+	for _, h := range hosts {
+		if got := nw.hostByID(h.NodeID()); got != h {
+			t.Fatalf("hostByID(%d) returned wrong host", h.NodeID())
+		}
+	}
+	for _, bad := range []int{-1, tors[0].NodeID(), 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("hostByID(%d) did not panic", bad)
+				}
+			}()
+			nw.hostByID(bad)
+		}()
+	}
+}
+
+func TestProbePath(t *testing.T) {
+	_, nw, hosts, _, _ := leafSpine(t, 2, 2, 2)
+	src, dst := hosts[0], hosts[3]
+	hops, baseRTT, minBw, err := nw.ProbePath(FlowSpec{ID: 9, Src: src.NodeID(), Dst: dst.NodeID()})
+	if err != nil {
+		t.Fatalf("ProbePath: %v", err)
+	}
+	if hops != 3 { // tor - spine - tor
+		t.Fatalf("hops = %d, want 3", hops)
+	}
+	if baseRTT <= 0 || minBw != gbps100 {
+		t.Fatalf("baseRTT=%v minBw=%v", baseRTT, minBw)
+	}
+
+	// Unknown source host: an error, not a panic.
+	if _, _, _, err := nw.ProbePath(FlowSpec{ID: 9, Src: 1 << 20, Dst: dst.NodeID()}); err == nil {
+		t.Fatal("ProbePath with unknown src did not error")
+	}
+	// Unroutable destination (a switch id): an error, not a panic.
+	if _, _, _, err := nw.ProbePath(FlowSpec{ID: 9, Src: src.NodeID(), Dst: 1 << 20}); err == nil {
+		t.Fatal("ProbePath with unroutable dst did not error")
+	}
+
+	// Probing reuses the network-owned scratch flow: steady state
+	// allocates nothing.
+	spec := FlowSpec{ID: 9, Src: src.NodeID(), Dst: dst.NodeID()}
+	nw.ProbePath(spec) // warm the path scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, _, err := nw.ProbePath(spec); err != nil {
+			t.Fatalf("ProbePath: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ProbePath allocates %v objects per probe, want 0", allocs)
+	}
+}

@@ -104,7 +104,10 @@ func TestPacketPoolReuse(t *testing.T) {
 func TestProbePathMatchesAddFlow(t *testing.T) {
 	_, nw, _ := star(t, 3, 1)
 	spec := FlowSpec{ID: 9, Src: 1, Dst: 2, Size: 1000}
-	hops, baseRTT, minBw := nw.ProbePath(spec)
+	hops, baseRTT, minBw, err := nw.ProbePath(spec)
+	if err != nil {
+		t.Fatalf("ProbePath: %v", err)
+	}
 	f := nw.AddFlow(spec, &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}})
 	if hops != f.Hops() || baseRTT != f.BaseRTT() {
 		t.Fatalf("ProbePath (%d, %v) disagrees with AddFlow (%d, %v)",

@@ -67,6 +67,27 @@ type Flow struct {
 	invBwSum float64  // sum over forward links of 1/bandwidth (s/bit)
 	minBw    float64  // bottleneck link bandwidth on the path
 
+	// Flat forwarding path, pre-resolved by Network.pathInfo: the egress
+	// port each switch hop would pick for this flow's data (fwdPath) and
+	// ACKs (revPath). Honored by Switch.Receive only while pathEpoch
+	// matches Network.routeEpoch — any AddRoute after the flow was created
+	// silently reverts it to per-hop route lookups.
+	fwdPath   []*Port
+	revPath   []*Port
+	pathEpoch uint64
+
+	// gateFree recycles the liveness gates scheduleCC wraps around
+	// algorithm timers, so periodic timers (DCQCN's alpha/rate) stop
+	// allocating once each chain owns a gate.
+	gateFree []*ccGate
+
+	// gapWire/gapRate/gapDur memoize the pacing gap: the controlled rate
+	// only changes on ACKs and nearly every packet is full-MTU, so whole
+	// windows reuse one TransmitTime result.
+	gapWire int
+	gapRate float64
+	gapDur  sim.Time
+
 	// Receiver side.
 	delivered int64
 	lastCNP   sim.Time
@@ -156,7 +177,9 @@ func (f *Flow) onWake() {
 	f.trySend()
 }
 
-// env builds the cc.Env for this flow's algorithm.
+// env builds the cc.Env for this flow's algorithm. The callbacks are
+// method values and the network's shared Now binding — per-flow one-time
+// cost, with no per-call closure construction afterwards.
 func (f *Flow) env() cc.Env {
 	return cc.Env{
 		LineRateBps: f.host.port.bw,
@@ -164,28 +187,60 @@ func (f *Flow) env() cc.Env {
 		MTU:         f.net.MTU,
 		Hops:        f.hops,
 		Rand:        f.net.rand,
-		Now:         f.net.Eng.Now,
-		// Schedule gates algorithm timers on flow liveness. The wrapper
-		// closure allocates per call, but only timer-driven algorithms
-		// (DCQCN's alpha/rate timers) use it — the per-packet hot paths
-		// all go through pre-bound callbacks.
-		Schedule: func(d sim.Time, fn func()) {
-			if f.finished {
-				return
-			}
-			f.net.Eng.After(d, func() {
-				if !f.finished {
-					fn()
-				}
-			})
-		},
-		SetControl: func(c cc.Control) {
-			if !f.finished {
-				f.ctl = c
-				f.trySend()
-			}
-		},
+		Now:         f.net.nowFn,
+		Schedule:    f.scheduleCC,
+		SetControl:  f.setControl,
 	}
+}
+
+// setControl is the cc.Env.SetControl body: timer-driven rate updates
+// land here (pre-bound once in env).
+func (f *Flow) setControl(c cc.Control) {
+	if !f.finished {
+		f.ctl = c
+		f.trySend()
+	}
+}
+
+// ccGate gates one scheduled algorithm timer on flow liveness. Gates are
+// recycled through Flow.gateFree the moment they fire — before fn runs,
+// so a timer that immediately re-schedules itself (DCQCN's alpha and rate
+// chains) reuses the same gate forever. run is pre-bound into bound at
+// construction; after warm-up a timer tick schedules with zero
+// allocations, where the old per-call double closure allocated two
+// funcvals per tick.
+type ccGate struct {
+	f     *Flow
+	fn    func()
+	bound func() // run, bound once
+}
+
+func (g *ccGate) run() {
+	f, fn := g.f, g.fn
+	g.fn = nil
+	f.gateFree = append(f.gateFree, g)
+	if !f.finished {
+		fn()
+	}
+}
+
+// scheduleCC is the cc.Env.Schedule body: it runs fn after d unless the
+// flow has finished by then. Timers scheduled after the flow finished are
+// dropped outright.
+func (f *Flow) scheduleCC(d sim.Time, fn func()) {
+	if f.finished {
+		return
+	}
+	var g *ccGate
+	if m := len(f.gateFree); m > 0 {
+		g = f.gateFree[m-1]
+		f.gateFree = f.gateFree[:m-1]
+	} else {
+		g = &ccGate{f: f}
+		g.bound = g.run
+	}
+	g.fn = fn
+	f.net.Eng.After(d, g.bound)
 }
 
 // trySend releases as many packets as the window and pacer currently
@@ -218,6 +273,9 @@ func (f *Flow) trySend() {
 		p.Payload = int(payload)
 		p.Wire = int(payload) + f.net.HeaderBytes
 		p.SentAt = now
+		// Stamp the flat path while the Flow is hot in cache; switch hops
+		// then forward without touching it (see Packet.path).
+		p.path, p.pathEpoch = f.fwdPath, f.pathEpoch
 		if p.Seq < f.maxSent {
 			f.Retransmits++
 			f.net.retransmits++
@@ -232,7 +290,7 @@ func (f *Flow) trySend() {
 			h(f, p.Seq, p.Payload)
 		}
 		// Pace the full wire size at the controlled rate.
-		gap := sim.TransmitTime(p.Wire, f.ctl.RateBps)
+		gap := f.paceGap(p.Wire)
 		if f.nextSend < now {
 			f.nextSend = now
 		}
@@ -243,6 +301,18 @@ func (f *Flow) trySend() {
 		}
 		f.host.port.send(p)
 	}
+}
+
+// paceGap returns TransmitTime(wire, f.ctl.RateBps) through the flow's
+// one-entry memo. Wire sizes are never zero, so the zero value cannot
+// alias a real entry.
+func (f *Flow) paceGap(wire int) sim.Time {
+	if wire == f.gapWire && f.ctl.RateBps == f.gapRate {
+		return f.gapDur
+	}
+	d := sim.TransmitTime(wire, f.ctl.RateBps)
+	f.gapWire, f.gapRate, f.gapDur = wire, f.ctl.RateBps, d
+	return d
 }
 
 // armRTO ensures a timeout event is scheduled. It is a no-op when one is

@@ -70,8 +70,17 @@ func (h *Host) receiveData(p *Packet) {
 	ack.Wire = h.net.AckBytes
 	ack.AckSeq = f.delivered
 	ack.SentAt = p.SentAt
-	// Move the collected telemetry to the ACK without copying.
-	ack.Hops, p.Hops = p.Hops, ack.Hops[:0]
+	// Stamp the reverse flat path while the Flow is hot in cache; switch
+	// hops then forward without touching it (see Packet.path).
+	ack.path, ack.pathEpoch = f.revPath, f.pathEpoch
+	// Echo the collected telemetry by copying into the ACK's own backing
+	// array. The old backing-array swap traded slices between the data
+	// packet and the ACK, which permanently demoted the data packet to the
+	// ACK's (typically nil) backing — so every later reuse of that pooled
+	// packet re-grew a Hops array from scratch, a steady-state allocation
+	// per forwarding. A copy of at most a few Telemetry records lets both
+	// packets keep their grown backing forever.
+	ack.Hops = append(ack.Hops[:0], p.Hops...)
 	if p.ECN {
 		now := h.net.Eng.Now()
 		if h.net.CNPInterval == 0 || now-f.lastCNP >= h.net.CNPInterval {

@@ -47,22 +47,30 @@ func (k Kind) String() string {
 
 // Packet is a simulated packet. Packets are pooled by the Network; user
 // code must not retain them after handing them off.
+//
+// Field order is deliberate: the fields a switch hop touches (kind, hop
+// cursor, wire size, flat path, arrival plumbing) pack into the first 64
+// bytes so per-hop forwarding warms a single cache line; the fields only
+// the endpoints read follow.
 type Packet struct {
-	Kind    Kind
-	Flow    *Flow
-	Src     int // source host id (for routing)
-	Dst     int // destination host id (for routing)
-	Seq     int64
-	Payload int // payload bytes (0 for control)
-	Wire    int // total on-wire bytes (payload + header)
+	Kind Kind
+	// hop counts the switches this packet has traversed; it is the cursor
+	// into path. Pool-reset to zero before every send.
+	hop  uint8
+	ECN  bool // congestion-experienced mark set by RED
+	ECE  bool // ack: congestion echo (CNP)
+	Wire int  // total on-wire bytes (payload + header)
 
-	SentAt sim.Time // data: when it left the sender; ack: echo of the same
-	AckSeq int64    // ack: cumulative payload bytes received
-	ECN    bool     // congestion-experienced mark set by RED
-	ECE    bool     // ack: congestion echo (CNP)
-	Hops   []cc.Telemetry
-
-	ingress *Port // switch-internal: arrival port for PFC accounting
+	// path and pathEpoch are the flow's pre-resolved flat path (forward
+	// for data, reverse for ACKs), stamped onto the packet at send time —
+	// where the Flow struct is already in cache — so switch hops forward
+	// with a single indexed load and never touch the Flow. The epoch
+	// snapshot means a packet launched before a route change completes its
+	// journey on the path it started with, exactly like a real switch
+	// draining in-flight traffic; packets sent after the change fall back
+	// to per-hop lookups (see Switch.Receive).
+	path      []*Port
+	pathEpoch uint64
 
 	// dest and arrive implement allocation-free arrival events: arrive is
 	// a closure over the packet built once per pooled Packet; dest is set
@@ -73,6 +81,18 @@ type Packet struct {
 	// scheduling hot path allocation-free.
 	dest   *Port
 	arrive func()
+
+	Flow    *Flow
+	Src     int // source host id (for routing)
+	Dst     int // destination host id (for routing)
+	Seq     int64
+	Payload int // payload bytes (0 for control)
+
+	SentAt sim.Time // data: when it left the sender; ack: echo of the same
+	AckSeq int64    // ack: cumulative payload bytes received
+	Hops   []cc.Telemetry
+
+	ingress *Port // switch-internal: arrival port for PFC accounting
 }
 
 // reset clears a pooled packet for reuse, keeping the Hops backing array

@@ -24,8 +24,15 @@ type Port struct {
 	net   *Network
 	owner Node
 	peer  *Port
-	bw    float64  // link bandwidth, bps
-	delay sim.Time // propagation delay
+
+	// Concrete views of owner, exactly one non-nil. Packet arrival is the
+	// single hottest call in the simulator; dispatching through these
+	// instead of the Node interface turns it into a direct (inlinable)
+	// call guarded by one nil check.
+	ownHost *Host
+	ownSw   *Switch
+	bw      float64  // link bandwidth, bps
+	delay   sim.Time // propagation delay
 
 	q        queue
 	busy     bool
@@ -40,6 +47,14 @@ type Port struct {
 	// buffered in this node that arrived through this port.
 	ingressBytes int64
 	pauseSent    bool
+
+	// serWire/serTime memoize TransmitTime for the last wire size sent:
+	// a port sees essentially one size (full data packets one way, ACKs
+	// the other), so this trades the float conversion chain for an
+	// integer compare on nearly every transmission. Wire sizes are never
+	// zero, so the zero value can't alias a real entry.
+	serWire int
+	serTime sim.Time
 
 	// txPkt and txDone implement allocation-free serialization events.
 	// Invariant: the port transmits one packet at a time (kick sets busy
@@ -133,6 +148,18 @@ func (pt *Port) send(p *Packet) {
 	if pt.red != nil && p.Kind == Data {
 		pt.markECN(p)
 	}
+	// Cut-through: with an idle transmitter and an empty queue the packet
+	// starts serializing immediately, skipping the FIFO. This is exactly
+	// what Push+kick would do (pop the sole entry and transmit it), minus
+	// the two ring operations per uncongested hop. send only carries data
+	// and ACKs (control frames go through sendControl), so a PFC-paused
+	// port always takes the queueing path.
+	if !pt.busy && !pt.pausedBy && pt.q.Len() == 0 {
+		pt.busy = true
+		pt.txPkt = p
+		pt.net.Eng.After(pt.serialize(p.Wire), pt.txDone)
+		return
+	}
 	pt.q.Push(p)
 	pt.kick()
 }
@@ -210,8 +237,17 @@ func (pt *Port) kick() {
 	p := pt.q.Pop()
 	pt.busy = true
 	pt.txPkt = p
-	ser := sim.TransmitTime(p.Wire, pt.bw)
-	pt.net.Eng.After(ser, pt.txDone)
+	pt.net.Eng.After(pt.serialize(p.Wire), pt.txDone)
+}
+
+// serialize returns TransmitTime(wire, pt.bw) through the one-entry memo.
+func (pt *Port) serialize(wire int) sim.Time {
+	if wire == pt.serWire {
+		return pt.serTime
+	}
+	d := sim.TransmitTime(wire, pt.bw)
+	pt.serWire, pt.serTime = wire, d
+	return d
 }
 
 // drain is the serialization-done event body; it runs via the pre-bound

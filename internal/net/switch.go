@@ -6,11 +6,22 @@ import "fmt"
 // destination host id to an egress port (ECMP-hashed when several are
 // configured) and joins that port's FIFO queue. Data packets receive INT
 // telemetry when they depart an egress port.
+//
+// Forwarding state is a dense array indexed by destination host id rather
+// than a map: a route lookup on the per-packet hot path is one bounds
+// check and one load. Most packets do not even take that path — flows
+// whose route set has not changed since AddFlow carry a pre-resolved port
+// sequence (see Flow.fwdPath) that Receive indexes by hop count.
 type Switch struct {
-	net    *Network
-	id     int
-	ports  []*Port
-	routes map[int][]*Port // destination host id -> candidate egress ports
+	net   *Network
+	id    int
+	ports []*Port
+
+	// fwd[dst] is the sole egress port toward dst (the single-port fast
+	// path); nil when dst has an ECMP group (groups[dst], always >= 2
+	// candidates) or no route at all.
+	fwd    []*Port
+	groups [][]*Port
 }
 
 // NodeID implements Node.
@@ -20,15 +31,61 @@ func (s *Switch) NodeID() int { return s.id }
 func (s *Switch) Ports() []*Port { return s.ports }
 
 // AddRoute registers egress ports for a destination host. Multiple ports
-// form an ECMP group selected by flow hash (so every flow keeps a single
-// path and in-order delivery).
+// (across one or several calls) form an ECMP group selected by flow hash,
+// so every flow keeps a single path and in-order delivery. Candidate order
+// is the order ports were added.
+//
+// Adding a route invalidates the pre-resolved flat paths of flows that
+// already exist (they fall back to per-hop lookups); install routes before
+// adding flows, as the Network construction order requires.
 func (s *Switch) AddRoute(dstHost int, ports ...*Port) {
+	if len(ports) == 0 {
+		return
+	}
 	for _, p := range ports {
 		if p.owner != s {
 			panic("net: AddRoute with a port not owned by this switch")
 		}
 	}
-	s.routes[dstHost] = append(s.routes[dstHost], ports...)
+	if dstHost < 0 {
+		panic(fmt.Sprintf("net: AddRoute with negative host id %d", dstHost))
+	}
+	for len(s.fwd) <= dstHost {
+		s.fwd = append(s.fwd, nil)
+		s.groups = append(s.groups, nil)
+	}
+	switch {
+	case s.fwd[dstHost] == nil && s.groups[dstHost] == nil && len(ports) == 1:
+		s.fwd[dstHost] = ports[0]
+	case s.fwd[dstHost] == nil && s.groups[dstHost] == nil:
+		// First install of a multi-port group: alias the caller's slice,
+		// clipped so a later append for this dst cannot scribble on it.
+		// Topology builders reuse one uplink slice for every destination
+		// behind it, so this keeps route installation O(hosts) in memory.
+		s.groups[dstHost] = ports[:len(ports):len(ports)]
+	default:
+		g := s.groups[dstHost]
+		if g == nil {
+			g = append(make([]*Port, 0, 1+len(ports)), s.fwd[dstHost])
+			s.fwd[dstHost] = nil
+		}
+		s.groups[dstHost] = append(g, ports...)
+	}
+	s.net.routeEpoch++
+}
+
+// RouteCandidates returns the ECMP candidate ports toward dst in install
+// order (a single-element slice for single-port routes, nil when the
+// switch has no route). The slice is the switch's own state; callers must
+// not modify it.
+func (s *Switch) RouteCandidates(dst int) []*Port {
+	if dst < 0 || dst >= len(s.fwd) {
+		return nil
+	}
+	if p := s.fwd[dst]; p != nil {
+		return []*Port{p}
+	}
+	return s.groups[dst]
 }
 
 // Receive implements Node.
@@ -44,7 +101,22 @@ func (s *Switch) Receive(p *Packet, in *Port) {
 		in.kick()
 		return
 	}
-	out := s.route(p)
+	// Flat-path fast path: the flow resolved its ECMP choices once at
+	// AddFlow and the sender stamped them onto the packet, so as long as
+	// no route changed since the packet left its sender (routeEpoch
+	// matches) forwarding is a single indexed load that touches nothing
+	// but the packet's first cache line. The pre-computed sequence is
+	// exactly what route() would return at every hop.
+	var out *Port
+	if p.pathEpoch == s.net.routeEpoch {
+		if h := int(p.hop); h < len(p.path) {
+			out = p.path[h]
+			p.hop++
+		}
+	}
+	if out == nil {
+		out = s.route(p)
+	}
 	if s.net.PFCPauseBytes > 0 {
 		p.ingress = in
 		in.chargeIngress(int64(p.Wire))
@@ -52,15 +124,31 @@ func (s *Switch) Receive(p *Packet, in *Port) {
 	out.send(p)
 }
 
+// route resolves a packet's egress port from the dense forwarding table:
+// single-port destinations are one load; ECMP groups hash the flow id.
 func (s *Switch) route(p *Packet) *Port {
-	cands := s.routes[p.Dst]
-	switch len(cands) {
-	case 0:
+	out := s.lookupRoute(p.Dst, p.Flow.Spec.ID)
+	if out == nil {
 		panic(fmt.Sprintf("net: switch %d has no route to host %d", s.id, p.Dst))
-	case 1:
-		return cands[0]
 	}
-	return cands[ecmpHash(p.Flow.Spec.ID, s.id, len(cands))]
+	return out
+}
+
+// lookupRoute is route by (dst, flowID), returning nil when the switch has
+// no route to dst (path probing turns that into an error; the packet hot
+// path panics).
+func (s *Switch) lookupRoute(dst, flowID int) *Port {
+	if dst < 0 || dst >= len(s.fwd) {
+		return nil
+	}
+	if out := s.fwd[dst]; out != nil {
+		return out
+	}
+	g := s.groups[dst]
+	if g == nil {
+		return nil
+	}
+	return g[ecmpHash(flowID, s.id, len(g))]
 }
 
 // ecmpHash picks a deterministic per-flow member of an ECMP group. It

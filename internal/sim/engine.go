@@ -182,25 +182,50 @@ func (e *Engine) peekLive() (entry, bool) {
 func (e *Engine) exec(en entry) {
 	e.q.drop()
 	e.now = en.at
+	e.live--
+	e.steps++
 	s := &e.slots[en.idx]
 	fn := s.fn
 	s.fn = nil
 	s.gen++
 	e.free = append(e.free, en.idx)
-	e.live--
-	e.steps++
 	fn()
 }
 
 // Step executes the next event. It reports whether an event was executed;
 // false means the queue is empty.
+//
+// The body fuses peekLive and exec: the slot is addressed once for both
+// the liveness check and the callback fetch. At tens of millions of events
+// per run the saved call layer and duplicate slot load are measurable.
 func (e *Engine) Step() bool {
-	en, ok := e.peekLive()
-	if !ok {
-		return false
+	q := &e.q
+	for {
+		// Manually inlined q.peek()+q.drop(): the per-event call overhead
+		// is visible at this frequency, and the compiler won't inline peek
+		// past its refill loop.
+		for q.curHead >= len(q.cur) {
+			if !q.refill() {
+				return false
+			}
+		}
+		en := q.cur[q.curHead]
+		s := &e.slots[en.idx]
+		if s.gen != en.gen {
+			q.curHead++ // cancelled corpse
+			continue
+		}
+		q.curHead++
+		e.now = en.at
+		e.live--
+		e.steps++
+		fn := s.fn
+		s.fn = nil
+		s.gen++
+		e.free = append(e.free, en.idx)
+		fn()
+		return true
 	}
-	e.exec(en)
-	return true
 }
 
 // Stop makes Run and RunUntil return after the current event completes.

@@ -1,6 +1,6 @@
 package sim
 
-import "slices"
+import "math/bits"
 
 // This file implements the engine's timer core: a ladder queue — a
 // hierarchical bucket structure with a small sorted "current epoch" at the
@@ -49,8 +49,11 @@ type ladderQueue struct {
 	bpool [][][]entry // recycled rung bucket arrays
 }
 
-// entry is one scheduled occurrence: the ordering key (at, seq) plus the
-// generation-stamped slot reference that locates the callback.
+// entry is one scheduled occurrence: the ordering key (at, seq) plus a
+// generation-stamped reference to the engine's event slot. Entries are
+// deliberately pointer-free (24 bytes): the ladder holds millions of them
+// in bucket slices, and keeping them scalar-only means the GC never scans
+// queue memory and sorts move minimal data.
 type entry struct {
 	at  Time
 	seq uint64
@@ -64,9 +67,36 @@ type entry struct {
 type rung struct {
 	start   Time
 	width   Time
+	recip   uint64 // ceil(2^64/width): bucketOf divides by multiply (width >= 2)
 	end     Time
 	next    int // next unconsumed bucket
 	buckets [][]entry
+}
+
+// bucketOf maps a non-negative offset into the rung to its bucket index:
+// floor(x/width) computed as a 128-bit multiply by the precomputed
+// reciprocal. Pushes run one hardware divide per event otherwise, and at
+// tens of millions of events the ~30-cycle divide is measurable. With
+// recip = ceil(2^64/width) the high word is floor(x/width) or one above;
+// a single conditional correction makes it exact, which bucket placement
+// requires (a misplaced entry reorders execution).
+func (r *rung) bucketOf(x Time) int {
+	if r.width == 1 {
+		return int(x)
+	}
+	hi, _ := bits.Mul64(uint64(x), r.recip)
+	if hi*uint64(r.width) > uint64(x) {
+		hi--
+	}
+	return int(hi)
+}
+
+// recipOf returns ceil(2^64/w) for w >= 2 (unused for w == 1).
+func recipOf(w Time) uint64 {
+	if w < 2 {
+		return 0
+	}
+	return ^uint64(0)/uint64(w) + 1
 }
 
 // Tuning constants. sortMax bounds the sorting work done when a bucket
@@ -79,7 +109,7 @@ type rung struct {
 const (
 	sortMax        = 64
 	childBuckets   = 64
-	curSplitMax    = 512
+	curSplitMax    = 256
 	minOverBuckets = 8
 	maxOverBuckets = 1 << 14
 )
@@ -91,20 +121,71 @@ func entryLess(a, b entry) bool {
 	return a.seq < b.seq
 }
 
-func entryCmp(a, b entry) int {
-	if a.at != b.at {
-		if a.at < b.at {
-			return -1
+// sortEntries sorts a bucket ascending by (at, seq). It is a concrete-type
+// quicksort (median-of-three pivot, insertion sort below a cutoff, recurse
+// into the smaller half) replacing slices.SortFunc: the generic sort calls
+// its comparator through a func value on every comparison, which profiled
+// at ~20% of a datacenter-run's CPU, while here entryLess inlines to two
+// integer compares. (at, seq) keys are distinct — seq is a unique
+// scheduling counter — so equal-pivot pathologies cannot arise, and
+// stability is irrelevant.
+func sortEntries(b []entry) {
+	for len(b) > entrySortCutoff {
+		p := partitionEntries(b)
+		if p < len(b)-p-1 {
+			sortEntries(b[:p])
+			b = b[p+1:]
+		} else {
+			sortEntries(b[p+1:])
+			b = b[:p]
 		}
-		return 1
 	}
-	if a.seq != b.seq {
-		if a.seq < b.seq {
-			return -1
+	for i := 1; i < len(b); i++ {
+		en := b[i]
+		j := i
+		for j > 0 && entryLess(en, b[j-1]) {
+			b[j] = b[j-1]
+			j--
 		}
-		return 1
+		b[j] = en
 	}
-	return 0
+}
+
+// entrySortCutoff is the size at or below which sortEntries switches to
+// insertion sort. It must be >= 3 so partitionEntries always has distinct
+// first/middle/last positions to draw its pivot from.
+const entrySortCutoff = 32
+
+// partitionEntries partitions b around a median-of-three pivot and returns
+// its final index. After the median step b[0] <= pivot <= b[hi], so the two
+// inner scans need no bounds checks: each is stopped by a sentinel.
+func partitionEntries(b []entry) int {
+	hi := len(b) - 1
+	mid := hi / 2
+	if entryLess(b[mid], b[0]) {
+		b[0], b[mid] = b[mid], b[0]
+	}
+	if entryLess(b[hi], b[0]) {
+		b[0], b[hi] = b[hi], b[0]
+	}
+	if entryLess(b[hi], b[mid]) {
+		b[mid], b[hi] = b[hi], b[mid]
+	}
+	b[mid], b[hi-1] = b[hi-1], b[mid]
+	pv := b[hi-1]
+	i, j := 0, hi-1
+	for {
+		for i++; entryLess(b[i], pv); i++ {
+		}
+		for j--; entryLess(pv, b[j]); j-- {
+		}
+		if i >= j {
+			break
+		}
+		b[i], b[j] = b[j], b[i]
+	}
+	b[i], b[hi-1] = b[hi-1], b[i]
+	return i
 }
 
 // push stores an entry. O(1) except for the (small, bounded) sorted insert
@@ -117,7 +198,10 @@ func (q *ladderQueue) push(en entry) {
 	for i := len(q.ladder) - 1; i >= 0; i-- {
 		r := &q.ladder[i]
 		if en.at < r.end {
-			j := int((en.at - r.start) / r.width)
+			j := 0
+			if en.at > r.start {
+				j = r.bucketOf(en.at - r.start)
+			}
 			if j < 0 {
 				// A fresh overflow rung starts at the overflow minimum,
 				// which may sit above curEnd; entries pushed into that gap
@@ -156,6 +240,12 @@ func (q *ladderQueue) insertCur(en entry) {
 		q.cur[q.curHead].at != q.cur[len(q.cur)-1].at {
 		q.splitCur()
 		q.push(en)
+		return
+	}
+	// Appending at the end is the common case (pushes arrive roughly in
+	// time order); it skips the search and never memmoves.
+	if n := len(q.cur); n == q.curHead || entryLess(q.cur[n-1], en) {
+		q.cur = append(q.cur, en)
 		return
 	}
 	lo, hi := q.curHead, len(q.cur)
@@ -240,7 +330,7 @@ func (q *ladderQueue) refill() bool {
 				q.ladder = append(q.ladder, child)
 				continue
 			}
-			slices.SortFunc(b, entryCmp)
+			sortEntries(b)
 			r.buckets[r.next] = nil
 			r.next++
 			q.cur = b
@@ -253,7 +343,7 @@ func (q *ladderQueue) refill() bool {
 				// of building (and allocating) a one-shot rung. This is the
 				// steady state of lightly loaded simulations — a handful of
 				// timers chaining each other.
-				slices.SortFunc(q.over, entryCmp)
+				sortEntries(q.over)
 				q.cur, q.over = q.over, q.getSlice()
 				q.curEnd = q.overMax + 1
 				return true
@@ -286,11 +376,11 @@ func (q *ladderQueue) newRung(start, end Time, entries []entry) rung {
 	if count < 1 {
 		count = 1
 	}
-	r := rung{start: start, width: width, end: end, buckets: q.getBuckets(count)}
+	r := rung{start: start, width: width, recip: recipOf(width), end: end, buckets: q.getBuckets(count)}
 	for _, en := range entries {
-		j := int((en.at - start) / width)
-		if j < 0 {
-			j = 0
+		j := 0
+		if en.at > start {
+			j = r.bucketOf(en.at - start)
 		}
 		b := r.buckets[j]
 		if b == nil {
@@ -311,9 +401,9 @@ func (q *ladderQueue) overflowRung() rung {
 	}
 	width := (hi-lo)/Time(nb) + 1
 	count := int((hi-lo)/width) + 1
-	r := rung{start: lo, width: width, end: lo + Time(count)*width, buckets: q.getBuckets(count)}
+	r := rung{start: lo, width: width, recip: recipOf(width), end: lo + Time(count)*width, buckets: q.getBuckets(count)}
 	for _, en := range q.over {
-		j := int((en.at - lo) / width)
+		j := r.bucketOf(en.at - lo)
 		b := r.buckets[j]
 		if b == nil {
 			b = q.getSlice()
@@ -332,7 +422,7 @@ func (q *ladderQueue) getSlice() []entry {
 		q.pool = q.pool[:n-1]
 		return s
 	}
-	return make([]entry, 0, 16)
+	return make([]entry, 0, 64)
 }
 
 func (q *ladderQueue) putSlice(s []entry) {

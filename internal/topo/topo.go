@@ -175,14 +175,14 @@ func NewFatTree(nw *net.Network, cfg FatTreeConfig) *FatTree {
 	for i := range ft.Hosts {
 		hostID := ft.Hosts[i].NodeID()
 		hp, ht := pod(i), torOf(i)
-		// ToRs.
+		// ToRs: the attached ToR delivers directly; every other ToR sends
+		// up across all its Agg uplinks — same-pod and cross-pod paths
+		// only diverge at the Agg layer, so the ToR rule is identical.
 		for tIdx, tor := range ft.ToRs {
 			if tIdx == ht {
 				tor.AddRoute(hostID, ft.HostPorts[i])
-			} else if tIdx/cfg.ToRsPerPod == hp {
-				tor.AddRoute(hostID, torUp[tIdx]...) // up to any pod Agg
 			} else {
-				tor.AddRoute(hostID, torUp[tIdx]...) // up; Aggs steer from there
+				tor.AddRoute(hostID, torUp[tIdx]...)
 			}
 		}
 		// Aggs.
