@@ -14,7 +14,7 @@ test:
 
 # Run the scheduler microbenchmarks and the end-to-end simulation benches.
 bench:
-	go test -run '^$$' -bench 'BenchmarkEngine|BenchmarkIncastSmall|BenchmarkFabric|BenchmarkSteadyState' -benchmem ./internal/sim ./internal/net .
+	go test -run '^$$' -bench 'BenchmarkEngine|BenchmarkIncastSmall|BenchmarkFabric|BenchmarkSteadyState|BenchmarkMailbox|BenchmarkEpochBarrier' -benchmem ./internal/sim ./internal/net .
 
 # Record a benchmark baseline (BENCH_baseline.json): microbenches plus a
 # timed fig10-medium experiment run.
@@ -24,7 +24,7 @@ bench-baseline:
 # Re-measure and gate against the committed baseline; non-zero exit when
 # events/sec regresses (or allocs/op grows) by more than 5%.
 bench-compare:
-	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr4.json
+	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr5.json
 
 # Profile the reference workload (fig10-medium): cpu.pprof + heap.pprof into
 # results/profiles/, the pair the PGO build and the perf notes come from.

@@ -11,7 +11,10 @@
 // re-runs the whole tree under the race detector in -short mode: -short
 // skips only the long datacenter-scale runs, which are single-variant
 // re-executions of code the concurrency-heavy packages (internal/par,
-// internal/sim) already exercise at full length. The bench-smoke step
+// internal/sim) already exercise at full length. A second race step
+// re-runs the sharded-engine tests (Parallel|Mailbox|Shard) without
+// -short, since those are the tests that actually spin up shard worker
+// goroutines. The bench-smoke step
 // runs every scheduler benchmark for exactly one iteration, so a
 // benchmark that panics or trips its own invariant checks fails the
 // default gate without paying measurement time.
@@ -43,7 +46,7 @@ import (
 func main() {
 	var (
 		bench     = flag.Bool("bench", false, "run benchmarks + a timed experiment and write a BENCH JSON")
-		benchPkg  = flag.String("bench-pkgs", "./internal/sim ./internal/net", "space-separated packages for -bench")
+		benchPkg  = flag.String("bench-pkgs", "./internal/sim ./internal/net ./internal/exp", "space-separated packages for -bench")
 		benchOut  = flag.String("bench-out", "BENCH_baseline.json", "benchmark JSON output path")
 		benchExp  = flag.String("bench-exp", "fig10", "experiment for the timed end-to-end run")
 		benchScl  = flag.String("bench-scale", "medium", "scale for the timed experiment run")
@@ -62,6 +65,12 @@ func main() {
 		{"gofmt", []string{"gofmt", "-l", "."}},
 		{"test", []string{"go", "test", "./..."}},
 		{"race", []string{"go", "test", "-race", "-short", "./..."}},
+		// The parallel-engine tests are the one place -short would hide real
+		// concurrency: cross-shard mailboxes, epoch barriers, and the worker
+		// goroutines only run at shards > 1. Re-run them un-shortened under
+		// the race detector.
+		{"race-parallel", []string{"go", "test", "-race", "-run", "Parallel|Mailbox|Shard",
+			"./internal/sim", "./internal/net", "./internal/topo", "./internal/exp"}},
 		{"bench-smoke", []string{"go", "test", "-run", "^$", "-bench", ".", "-benchtime", "1x", "./internal/sim", "./internal/net"}},
 	}
 	failed := 0

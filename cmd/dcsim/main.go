@@ -32,6 +32,7 @@ func main() {
 		ms           = flag.Int("ms", 5, "traffic duration, milliseconds")
 		load         = flag.Float64("load", 0.5, "offered load as a fraction of host line rate")
 		seed         = flag.Int64("seed", 1, "simulation seed")
+		shards       = flag.Int("shards", 0, "partition the fat-tree into N parallel shards (0/1 = sequential engine)")
 		distFile     = flag.String("dist", "", "flow-size distribution file (HPCC-artifact format; overrides -workload)")
 	)
 	flag.Parse()
@@ -55,7 +56,7 @@ func main() {
 		if vaisf {
 			label += " VAI SF"
 		}
-		recs, rs, err := run(*protocol, vaisf, ftCfg, specs, *seed)
+		recs, rs, err := run(*protocol, vaisf, ftCfg, specs, *seed, *shards)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcsim:", err)
 			os.Exit(1)
@@ -120,12 +121,14 @@ type runOut struct {
 	run faircc.RunStats
 }
 
-func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec, seed int64) ([]faircc.FlowRecord, runOut, error) {
+func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec, seed int64, shards int) ([]faircc.FlowRecord, runOut, error) {
 	eng := faircc.NewEngine()
 	nw := faircc.NewNetwork(eng, seed)
-	faircc.NewFatTree(nw, ftCfg)
-	rec := &faircc.FCTRecorder{}
-	rec.Attach(nw)
+	ft := faircc.NewFatTree(nw, ftCfg)
+	if shards > 1 {
+		assign, k := ft.ShardMap(shards)
+		nw.Shard(assign, k)
+	}
 
 	const minBDP = 42_000.0
 	minBDPDelay := faircc.Time(minBDP * 8 * 1e12 / 100e9)
@@ -148,10 +151,19 @@ func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc
 		nw.AddFlow(spec, maker())
 	}
 	start := time.Now()
-	eng.Run()
-	rs := faircc.CollectRunStats(eng, nw)
+	var rs faircc.RunStats
+	if nw.Shards() > 1 {
+		pr := nw.NewParallel()
+		if err := pr.Run(); err != nil {
+			return nil, runOut{}, err
+		}
+		rs = faircc.CollectShardedRunStats(nw, pr.Epochs())
+	} else {
+		eng.Run()
+		rs = faircc.CollectRunStats(eng, nw)
+	}
 	rs.Finish(time.Since(start))
-	return rec.Records, runOut{net: nw.Stats(), run: rs}, nil
+	return faircc.CollectFinishedFlows(nw), runOut{net: nw.Stats(), run: rs}, nil
 }
 
 func report(recs []faircc.FlowRecord) {

@@ -44,6 +44,7 @@ func run() int {
 		seed   = flag.Int64("seed", 1, "simulation seed")
 		out    = flag.String("out", "", "directory for CSV output (default: stdout summary only)")
 		work   = flag.Int("workers", 0, "parallel variant runners (0 = GOMAXPROCS)")
+		shards = flag.Int("shards", 0, "partition each fat-tree simulation into N parallel shards (0/1 = sequential engine; results are deterministic per shard count but differ across counts)")
 		plot   = flag.Bool("plot", false, "render an ASCII chart of each result")
 		verify = flag.Bool("verify", false, "check the paper's claims against fresh runs and exit")
 
@@ -59,7 +60,7 @@ func run() int {
 	flag.Parse()
 
 	cfg := exp.Config{
-		Seed: *seed, Workers: *work, Scale: *scale,
+		Seed: *seed, Workers: *work, Scale: *scale, Shards: *shards,
 		BufferBytes: *bufBytes, DropDataProb: *dropData, DropAckProb: *dropAck,
 	}
 	if *progress {

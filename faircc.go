@@ -115,6 +115,9 @@ type (
 	// EventID is a generation-stamped handle to a scheduled event;
 	// cancelling a stale handle is a guaranteed no-op.
 	EventID = sim.EventID
+	// Parallel is the barrier-synchronized runner for sharded networks
+	// (see FatTree.ShardMap, Network.Shard and Network.NewParallel).
+	Parallel = sim.Parallel
 	// EngineStats is the engine's lifetime counter snapshot (events
 	// executed/scheduled/cancelled, pending, peak pending, slot allocs).
 	EngineStats = sim.EngineStats
@@ -258,6 +261,22 @@ func RunExperimentWithStats(name string, cfg ExperimentConfig) (*ExperimentResul
 // wall-clock rates.
 func CollectRunStats(eng *Engine, nw *Network) RunStats {
 	return metrics.CollectRun(eng, nw)
+}
+
+// CollectShardedRunStats is CollectRunStats for a sharded parallel run:
+// engine counters are summed over the network's shard engines and the
+// per-shard event split plus the epoch count are recorded. Pass
+// Parallel.Epochs() as epochs.
+func CollectShardedRunStats(nw *Network, epochs uint64) RunStats {
+	return metrics.CollectSharded(nw, epochs)
+}
+
+// CollectFinishedFlows returns completion records for every finished flow
+// in AddFlow order. Unlike FCTRecorder it reads flow state after the run,
+// so it is the collector to use with sharded parallel runs (finish
+// callbacks fire on worker goroutines there).
+func CollectFinishedFlows(nw *Network) []FlowRecord {
+	return metrics.CollectFinished(nw)
 }
 
 // ExperimentNames lists all registered experiments.

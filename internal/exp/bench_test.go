@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"testing"
 )
 
@@ -29,4 +30,35 @@ func BenchmarkFig10Large(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 	b.ReportMetric(float64(slotAllocs)/float64(b.N), "slot-allocs/run")
 	b.ReportMetric(float64(poolAllocs)/float64(b.N), "pool-allocs/run")
+}
+
+// BenchmarkFig10MediumParallel is the sharded-engine scaling curve: the
+// fig10 experiment at medium scale (the BENCH baseline workload) at 1, 2,
+// 4 and 8 shards. Workers is pinned to 1 so the four protocol variants
+// run back to back and the only concurrency measured is the shard
+// workers'. Wall-clock gains need real cores: on a single-CPU runner the
+// curve records parallelization overhead instead (see EXPERIMENTS.md).
+func BenchmarkFig10MediumParallel(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Scale = "medium"
+			cfg.Seed = 1
+			cfg.Workers = 1
+			cfg.Shards = shards
+			var events, epochs uint64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, rs, err := RunWithStats("fig10", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += rs.Events
+				epochs += rs.Epochs
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(epochs)/float64(b.N), "epochs/run")
+		})
+	}
 }

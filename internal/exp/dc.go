@@ -59,23 +59,36 @@ func dcTraffic(cfg Config, ftCfg topo.FatTreeConfig, duration sim.Time, name str
 
 // runDC runs one datacenter simulation: the given traffic on the fat-tree
 // under one protocol variant, returning per-flow completion records.
+// Completion records are collected after the run (CollectFinished) rather
+// than via an OnFlowFinish recorder, so the same code path serves
+// sequential and sharded runs — on a sharded network finish callbacks
+// fire on worker goroutines. Every derived output sorts, so the record
+// order difference is invisible (goldens are bit-identical).
 func runDC(cfg Config, v variant, ftCfg topo.FatTreeConfig, specs []net.FlowSpec) ([]metrics.FlowRecord, error) {
 	eng := sim.NewEngine()
 	nw := net.New(eng, cfg.Seed)
-	topo.NewFatTree(nw, ftCfg)
-	rec := &metrics.FCTRecorder{}
-	rec.Attach(nw)
+	ft := topo.NewFatTree(nw, ftCfg)
+	if cfg.Shards > 1 {
+		assign, k := ft.ShardMap(cfg.Shards)
+		nw.Shard(assign, k)
+	}
 	for _, spec := range specs {
 		nw.AddFlow(spec, v.make())
 	}
-	runSim(cfg, v.label, eng, nw)
+	if nw.Shards() > 1 {
+		if err := runSimSharded(cfg, v.label, nw); err != nil {
+			return nil, fmt.Errorf("%s: %w", v.label, err)
+		}
+	} else {
+		runSim(cfg, v.label, eng, nw)
+	}
 	if !nw.AllFinished() {
 		return nil, fmt.Errorf("%s: flows did not finish", v.label)
 	}
 	if err := nw.CheckConservation(); err != nil {
 		return nil, fmt.Errorf("%s: %w", v.label, err)
 	}
-	return rec.Records, nil
+	return metrics.CollectFinished(nw), nil
 }
 
 // dcMinBDP probes the fat-tree's minimum BDP (the shortest, same-ToR

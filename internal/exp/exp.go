@@ -25,6 +25,14 @@ type Config struct {
 	// Workers bounds the parallelism across protocol variants and sweeps
 	// (0 = GOMAXPROCS). It never changes results.
 	Workers int
+	// Shards partitions each datacenter fat-tree simulation into this
+	// many execution shards driven in parallel by sim.Parallel (see
+	// Network.Shard). 0 or 1 keeps the sequential engine. A fixed shard
+	// count is deterministic across repetitions, but different counts
+	// yield statistically equivalent — not identical — results, so the
+	// recorded figures use the sequential engine. Experiments without a
+	// fat-tree (incast star, fluid model) ignore the setting.
+	Shards int
 	// Scale picks the experiment size: "small" for tests and benches,
 	// "medium" for the recorded results in EXPERIMENTS.md, "full" for the
 	// paper-scale setup (320 hosts, 50 ms datacenter runs).

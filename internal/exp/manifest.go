@@ -22,6 +22,7 @@ type Manifest struct {
 	Scale      string `json:"scale"`
 	Seed       int64  `json:"seed"`
 	Workers    int    `json:"workers"`
+	Shards     int    `json:"shards,omitempty"`
 
 	GitDescribe string `json:"git_describe,omitempty"`
 	GoVersion   string `json:"go_version"`
@@ -44,6 +45,7 @@ func BuildManifest(name string, cfg Config, res *Result, stats *metrics.RunStats
 		Scale:       cfg.Scale,
 		Seed:        cfg.Seed,
 		Workers:     cfg.Workers,
+		Shards:      cfg.Shards,
 		GitDescribe: GitDescribe(),
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,

@@ -113,6 +113,90 @@ func runSim(cfg Config, label string, eng *sim.Engine, nw *net.Network) {
 	}
 }
 
+// runSimSharded is runSim for a sharded network: it drives the epochs
+// through nw.NewParallel and, when Config.Progress is set, watches the
+// run from a separate observer goroutine. The observer reads only the
+// runner's atomically published barrier snapshots (sim.Parallel.Progress)
+// — never EngineStats or NetworkStats of live shards — so progress
+// reporting is race-clean at any shard count and cannot perturb the
+// workers. (The sequential runSim reads eng.Steps mid-run, which is safe
+// there only because its progress calls run on the stepping goroutine.)
+func runSimSharded(cfg Config, label string, nw *net.Network) error {
+	pr := nw.NewParallel()
+	start := time.Now()
+	var stop chan struct{}
+	var wg sync.WaitGroup
+	if cfg.Progress != nil {
+		every := cfg.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		stop = make(chan struct{})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ticker := time.NewTicker(every)
+			defer ticker.Stop()
+			lastWall, lastEvents := start, uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				events, simNow, _ := pr.Progress()
+				now := time.Now()
+				rate := float64(events-lastEvents) / now.Sub(lastWall).Seconds()
+				cfg.Progress(ProgressUpdate{
+					Label:        label,
+					SimTime:      simNow,
+					Events:       events,
+					Wall:         now.Sub(start),
+					EventsPerSec: rate,
+				})
+				lastWall, lastEvents = now, events
+			}
+		}()
+	}
+	err := pr.Run()
+	if stop != nil {
+		close(stop)
+		wg.Wait()
+	}
+	if err != nil {
+		return err
+	}
+	if cfg.Progress != nil {
+		// Run has returned, so reading the shard engines directly is safe
+		// (the workers' exits happen-before Run's return).
+		var events uint64
+		var simNow sim.Time
+		for _, eng := range nw.ShardEngines() {
+			events += eng.Steps()
+			if t := eng.Now(); t > simNow {
+				simNow = t
+			}
+		}
+		wall := time.Since(start)
+		rate := 0.0
+		if s := wall.Seconds(); s > 0 {
+			rate = float64(events) / s
+		}
+		cfg.Progress(ProgressUpdate{
+			Label:        label,
+			SimTime:      simNow,
+			Events:       events,
+			Wall:         wall,
+			EventsPerSec: rate,
+			Done:         true,
+		})
+	}
+	if cfg.obs != nil {
+		cfg.obs.add(metrics.CollectSharded(nw, pr.Epochs()))
+	}
+	return nil
+}
+
 // RunWithStats runs an experiment like Run and additionally returns the
 // aggregated RunStats of every simulation the experiment executed —
 // events, events/sec, packet and pool counters, wall time, and process

@@ -148,6 +148,30 @@ func (r *FCTRecorder) Attach(nw *net.Network) {
 	}
 }
 
+// CollectFinished returns completion records for every finished flow, in
+// AddFlow order. Unlike FCTRecorder it runs after the simulation instead
+// of inside Network.OnFlowFinish, so it is safe for sharded runs (where
+// finish callbacks fire on worker goroutines). Downstream consumers
+// (BucketBySize, SlowdownAbove) sort, so the record-order difference from
+// FCTRecorder — AddFlow order here, finish order there — is invisible in
+// every derived output.
+func CollectFinished(nw *net.Network) []FlowRecord {
+	records := make([]FlowRecord, 0, len(nw.Flows()))
+	for _, f := range nw.Flows() {
+		if !f.Finished() {
+			continue
+		}
+		records = append(records, FlowRecord{
+			ID:       f.Spec.ID,
+			Size:     f.Spec.Size,
+			Start:    f.Spec.Start,
+			FCT:      f.FCT(),
+			Slowdown: f.Slowdown(),
+		})
+	}
+	return records
+}
+
 // SizeBucket is one point of a slowdown-versus-size figure: the flows in
 // (roughly) one size percentile and the chosen slowdown percentile among
 // them.

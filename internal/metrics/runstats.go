@@ -54,6 +54,16 @@ type RunStats struct {
 	DupAcks      int64 `json:"dup_acks"`
 	DataOutOfSeq int64 `json:"data_out_of_seq"`
 
+	// Parallel-execution figures (omitted from JSON on sequential runs,
+	// so historical manifests keep their exact key set). Shards is the
+	// shard count (max across runs when aggregating); ShardEvents is the
+	// per-shard executed-event split (elementwise sum across runs of the
+	// same shape — the load-balance record for the scaling curve); Epochs
+	// counts barrier-synchronized windows (summed across runs).
+	Shards      int      `json:"shards,omitempty"`
+	ShardEvents []uint64 `json:"shard_events,omitempty"`
+	Epochs      uint64   `json:"epochs,omitempty"`
+
 	// Wall-clock figures, filled in by Finish.
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -70,32 +80,61 @@ type RunStats struct {
 // CollectRun snapshots one finished simulation's engine and network
 // counters as a single-run RunStats.
 func CollectRun(eng *sim.Engine, nw *net.Network) RunStats {
-	es := eng.Stats()
-	ns := nw.Stats()
-	return RunStats{
-		Runs:            1,
-		Events:          es.Steps,
-		EventsScheduled: es.Scheduled,
-		EventsCancelled: es.Cancelled,
-		PeakPending:     es.PeakPending,
-		EventSlotAllocs: es.EventAllocs,
-		SimSeconds:      eng.Now().Seconds(),
-		DataSent:        ns.DataSent,
-		DataDelivered:   ns.DataDelivered,
-		AcksSent:        ns.AcksSent,
-		ECNMarks:        ns.ECNMarks,
-		PFCPauses:       ns.PFCPauses,
-		PoolGets:        ns.PoolGets,
-		PoolAllocs:      ns.PoolAllocs,
-		DataDrops:       ns.DataDrops,
-		AckDrops:        ns.AckDrops,
-		BufferDrops:     ns.BufferDrops,
-		WireDrops:       ns.WireDrops,
-		Retransmits:     ns.Retransmits,
-		RTOFires:        ns.RTOFires,
-		DupAcks:         ns.DupAcks,
-		DataOutOfSeq:    ns.DataOutOfSeq,
+	s := RunStats{Runs: 1}
+	s.addEngine(eng.Stats())
+	s.SimSeconds = eng.Now().Seconds()
+	s.fillNetwork(nw.Stats())
+	return s
+}
+
+// CollectSharded snapshots one finished parallel simulation: engine
+// counters summed over the network's shard engines, the per-shard event
+// split, and the epoch (barrier window) count from sim.Parallel.Epochs.
+// Simulated time is the max over shards — they cover the same interval,
+// each clock stopping at its shard's last event.
+func CollectSharded(nw *net.Network, epochs uint64) RunStats {
+	s := RunStats{Runs: 1}
+	engines := nw.ShardEngines()
+	s.Shards = len(engines)
+	s.ShardEvents = make([]uint64, len(engines))
+	for i, eng := range engines {
+		s.addEngine(eng.Stats())
+		s.ShardEvents[i] = eng.Steps()
+		if t := eng.Now().Seconds(); t > s.SimSeconds {
+			s.SimSeconds = t
+		}
 	}
+	s.Epochs = epochs
+	s.fillNetwork(nw.Stats())
+	return s
+}
+
+func (s *RunStats) addEngine(es sim.EngineStats) {
+	s.Events += es.Steps
+	s.EventsScheduled += es.Scheduled
+	s.EventsCancelled += es.Cancelled
+	if es.PeakPending > s.PeakPending {
+		s.PeakPending = es.PeakPending
+	}
+	s.EventSlotAllocs += es.EventAllocs
+}
+
+func (s *RunStats) fillNetwork(ns net.NetworkStats) {
+	s.DataSent = ns.DataSent
+	s.DataDelivered = ns.DataDelivered
+	s.AcksSent = ns.AcksSent
+	s.ECNMarks = ns.ECNMarks
+	s.PFCPauses = ns.PFCPauses
+	s.PoolGets = ns.PoolGets
+	s.PoolAllocs = ns.PoolAllocs
+	s.DataDrops = ns.DataDrops
+	s.AckDrops = ns.AckDrops
+	s.BufferDrops = ns.BufferDrops
+	s.WireDrops = ns.WireDrops
+	s.Retransmits = ns.Retransmits
+	s.RTOFires = ns.RTOFires
+	s.DupAcks = ns.DupAcks
+	s.DataOutOfSeq = ns.DataOutOfSeq
 }
 
 // Add merges another snapshot into s (summing counters, taking the max of
@@ -125,6 +164,18 @@ func (s *RunStats) Add(o RunStats) {
 	s.RTOFires += o.RTOFires
 	s.DupAcks += o.DupAcks
 	s.DataOutOfSeq += o.DataOutOfSeq
+	if o.Shards > s.Shards {
+		s.Shards = o.Shards
+	}
+	s.Epochs += o.Epochs
+	if len(o.ShardEvents) > 0 {
+		if len(s.ShardEvents) < len(o.ShardEvents) {
+			s.ShardEvents = append(s.ShardEvents, make([]uint64, len(o.ShardEvents)-len(s.ShardEvents))...)
+		}
+		for i, v := range o.ShardEvents {
+			s.ShardEvents[i] += v
+		}
+	}
 }
 
 // Finish records the wall-clock duration the runs took, derives the rates,
@@ -159,6 +210,9 @@ func (s RunStats) String() string {
 	if drops := s.DataDrops + s.AckDrops; drops > 0 || s.Retransmits > 0 {
 		out += fmt.Sprintf(", %d drops (%d buffer, %d wire), %d retransmits, %d RTOs",
 			drops, s.BufferDrops, s.WireDrops, s.Retransmits, s.RTOFires)
+	}
+	if s.Shards > 1 {
+		out += fmt.Sprintf(", %d shards, %d epochs", s.Shards, s.Epochs)
 	}
 	return out
 }

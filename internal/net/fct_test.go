@@ -84,14 +84,14 @@ func TestPacketPoolReuse(t *testing.T) {
 	eng.Run()
 	// 1000 data + 1000 acks flowed, but the pool bounds live packets to
 	// the in-flight set; after the run everything is recycled.
-	if len(nw.pool) == 0 {
+	if len(nw.shards[0].pool) == 0 {
 		t.Fatal("packet pool empty after run; recycling broken")
 	}
-	if len(nw.pool) > 200 {
-		t.Fatalf("pool grew to %d packets; expected bounded by in-flight window", len(nw.pool))
+	if len(nw.shards[0].pool) > 200 {
+		t.Fatalf("pool grew to %d packets; expected bounded by in-flight window", len(nw.shards[0].pool))
 	}
 	// Recycled packets must be clean.
-	for _, p := range nw.pool {
+	for _, p := range nw.shards[0].pool {
 		if p.Flow != nil || p.Payload != 0 || p.ECN || len(p.Hops) != 0 {
 			t.Fatalf("dirty packet in pool: %+v", p)
 		}

@@ -21,7 +21,15 @@ type FlowSpec struct {
 type Flow struct {
 	Spec FlowSpec
 
-	net  *Network
+	net *Network
+	// sh/eng are the source host's execution shard and its engine: the
+	// whole sender side (start, pacing, congestion control, RTO, ACK
+	// processing) runs there. The receiver-side fields below are touched
+	// only on the destination host's shard; sender and receiver fields
+	// never share an 8-byte word, so sharded runs are race-free without
+	// any per-field synchronization.
+	sh   *shard
+	eng  *sim.Engine
 	host *Host // source host
 	algo cc.Algorithm
 	ctl  cc.Control
@@ -160,7 +168,7 @@ func (f *Flow) TakeDeliveredDelta() int64 {
 // start initializes congestion control and begins sending.
 func (f *Flow) start() {
 	f.started = true
-	f.StartedAt = f.net.Eng.Now()
+	f.StartedAt = f.eng.Now()
 	// Bind the pacing-wakeup callback once (the same pattern as the
 	// packet arrive closure and the port txDone callback): every pacing
 	// timer the flow ever schedules reuses this one func value, so
@@ -178,7 +186,7 @@ func (f *Flow) onWake() {
 }
 
 // env builds the cc.Env for this flow's algorithm. The callbacks are
-// method values and the network's shared Now binding — per-flow one-time
+// method values and the shard's shared Now binding — per-flow one-time
 // cost, with no per-call closure construction afterwards.
 func (f *Flow) env() cc.Env {
 	return cc.Env{
@@ -186,8 +194,8 @@ func (f *Flow) env() cc.Env {
 		BaseRTT:     f.baseRTT,
 		MTU:         f.net.MTU,
 		Hops:        f.hops,
-		Rand:        f.net.rand,
-		Now:         f.net.nowFn,
+		Rand:        f.sh.rand,
+		Now:         f.sh.nowFn,
 		Schedule:    f.scheduleCC,
 		SetControl:  f.setControl,
 	}
@@ -240,7 +248,7 @@ func (f *Flow) scheduleCC(d sim.Time, fn func()) {
 		g.bound = g.run
 	}
 	g.fn = fn
-	f.net.Eng.After(d, g.bound)
+	f.eng.After(d, g.bound)
 }
 
 // trySend releases as many packets as the window and pacer currently
@@ -251,7 +259,7 @@ func (f *Flow) trySend() {
 	if f.finished {
 		return
 	}
-	now := f.net.Eng.Now()
+	now := f.eng.Now()
 	for f.sent < f.Spec.Size {
 		if float64(f.inflight) >= f.ctl.WindowBytes {
 			return // window closed; an ACK will reopen it
@@ -264,7 +272,7 @@ func (f *Flow) trySend() {
 		if payload > int64(f.net.MTU) {
 			payload = int64(f.net.MTU)
 		}
-		p := f.net.getPacket()
+		p := f.sh.getPacket()
 		p.Kind = Data
 		p.Flow = f
 		p.Src = f.Spec.Src
@@ -278,14 +286,14 @@ func (f *Flow) trySend() {
 		p.path, p.pathEpoch = f.fwdPath, f.pathEpoch
 		if p.Seq < f.maxSent {
 			f.Retransmits++
-			f.net.retransmits++
+			f.sh.retransmits++
 		}
 		f.sent += payload
 		if f.sent > f.maxSent {
 			f.maxSent = f.sent
 		}
 		f.inflight += payload
-		f.net.dataSent++
+		f.sh.dataSent++
 		if h := f.net.Hooks.OnSend; h != nil {
 			h(f, p.Seq, p.Payload)
 		}
@@ -322,7 +330,7 @@ func (f *Flow) armRTO() {
 		return
 	}
 	f.rtoArmed = true
-	f.net.Eng.At(f.rtoDeadline, f.rtoWake)
+	f.eng.At(f.rtoDeadline, f.rtoWake)
 }
 
 // onRTO is the retransmission-timeout event body (pre-bound in f.rtoWake).
@@ -334,13 +342,13 @@ func (f *Flow) onRTO() {
 	if f.finished || f.inflight <= 0 {
 		return
 	}
-	now := f.net.Eng.Now()
+	now := f.eng.Now()
 	if now < f.rtoDeadline {
 		f.armRTO()
 		return
 	}
 	f.Timeouts++
-	f.net.rtoFires++
+	f.sh.rtoFires++
 	f.rto *= 2
 	if f.rto > f.net.RTOMax && f.net.RTOMax > 0 {
 		f.rto = f.net.RTOMax
@@ -360,9 +368,9 @@ func (f *Flow) schedule(at sim.Time) {
 		if f.pendingAt == at {
 			return
 		}
-		f.net.Eng.Cancel(f.pending)
+		f.eng.Cancel(f.pending)
 	}
-	f.pending = f.net.Eng.At(at, f.wake)
+	f.pending = f.eng.At(at, f.wake)
 	f.pendingAt = at
 }
 
@@ -374,7 +382,7 @@ func (f *Flow) schedule(at sim.Time) {
 func (f *Flow) onAck(p *Packet) {
 	newly := p.AckSeq - f.acked
 	if newly <= 0 {
-		f.net.dupAcks++
+		f.sh.dupAcks++
 		return // duplicate or stale cumulative ACK; RTO drives recovery
 	}
 	f.acked = p.AckSeq
@@ -390,7 +398,7 @@ func (f *Flow) onAck(p *Packet) {
 		// the send cursor past what the receiver now confirms.
 		f.sent = f.acked
 	}
-	now := f.net.Eng.Now()
+	now := f.eng.Now()
 	if f.acked >= f.Spec.Size {
 		f.finish(now)
 		return
@@ -420,9 +428,9 @@ func (f *Flow) onAck(p *Packet) {
 func (f *Flow) finish(now sim.Time) {
 	f.finished = true
 	f.FinishedAt = now
-	f.net.unfinished--
+	f.net.unfinished.Add(-1)
 	if f.pending.Valid() {
-		f.net.Eng.Cancel(f.pending)
+		f.eng.Cancel(f.pending)
 		f.pending = sim.EventID{}
 	}
 	if f.net.OnFlowFinish != nil {

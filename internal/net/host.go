@@ -7,6 +7,7 @@ package net
 // marks.
 type Host struct {
 	net  *Network
+	sh   *shard // execution shard (shard 0 until Network.Shard rebinds)
 	id   int
 	port *Port
 }
@@ -22,11 +23,11 @@ func (h *Host) Receive(p *Packet, in *Port) {
 	switch p.Kind {
 	case Pause:
 		in.pausedBy = true
-		h.net.putPacket(p)
+		h.sh.putPacket(p)
 		return
 	case Resume:
 		in.pausedBy = false
-		h.net.putPacket(p)
+		h.sh.putPacket(p)
 		in.kick()
 		return
 	case Data:
@@ -34,7 +35,7 @@ func (h *Host) Receive(p *Packet, in *Port) {
 	case Ack:
 		f := p.Flow
 		f.onAck(p)
-		h.net.putPacket(p)
+		h.sh.putPacket(p)
 	}
 }
 
@@ -45,9 +46,9 @@ func (h *Host) receiveData(p *Packet) {
 	}
 	if p.Seq == f.delivered {
 		f.delivered += int64(p.Payload)
-		h.net.dataDelivered++
+		h.sh.dataDelivered++
 		if f.delivered >= f.Spec.Size {
-			f.DeliveredAt = h.net.Eng.Now()
+			f.DeliveredAt = h.sh.eng.Now()
 		}
 		if hook := h.net.Hooks.OnDeliver; hook != nil {
 			hook(f, p.Seq, p.Payload)
@@ -59,10 +60,10 @@ func (h *Host) receiveData(p *Packet) {
 		// cumulative position, which the sender treats as a dup. On
 		// lossless paths delivery is FIFO, so this branch never runs and
 		// lossless behavior is unchanged.
-		h.net.dataOutOfSeq++
+		h.sh.dataOutOfSeq++
 	}
 
-	ack := h.net.getPacket()
+	ack := h.sh.getPacket()
 	ack.Kind = Ack
 	ack.Flow = f
 	ack.Src = h.id
@@ -82,13 +83,13 @@ func (h *Host) receiveData(p *Packet) {
 	// packets keep their grown backing forever.
 	ack.Hops = append(ack.Hops[:0], p.Hops...)
 	if p.ECN {
-		now := h.net.Eng.Now()
+		now := h.sh.eng.Now()
 		if h.net.CNPInterval == 0 || now-f.lastCNP >= h.net.CNPInterval {
 			ack.ECE = true
 			f.lastCNP = now
 		}
 	}
-	h.net.putPacket(p)
-	h.net.acksSent++
+	h.sh.putPacket(p)
+	h.sh.acksSent++
 	h.port.send(ack)
 }

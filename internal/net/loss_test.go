@@ -43,7 +43,7 @@ func TestSendControlCoalesces(t *testing.T) {
 	}
 
 	// Control coalescing must not disturb queued data.
-	data := nw.getPacket()
+	data := nw.shards[0].getPacket()
 	data.Kind = Data
 	data.Wire = 1000
 	p01.q.Push(data)
@@ -80,7 +80,7 @@ func TestPFCResumeCannotOvertakePause(t *testing.T) {
 	// packet that serializes for 8 us, then cross the pause threshold and
 	// fall back below the resume threshold while it is still going.
 	eng.At(0, func() {
-		filler := nw.getPacket()
+		filler := nw.shards[0].getPacket()
 		filler.Kind = Ack
 		filler.Flow = f
 		filler.Src = h1.NodeID()

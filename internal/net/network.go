@@ -3,19 +3,21 @@ package net
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"faircc/internal/cc"
 	"faircc/internal/sim"
 )
 
 // Network assembles hosts, switches, links and flows over a sim.Engine.
-// Construction order: create nodes, Connect them, add switch routes, then
-// AddFlow. The network is single-threaded and deterministic for a fixed
-// seed.
+// Construction order: create nodes, Connect them, add switch routes,
+// optionally Shard for parallel execution, then AddFlow. The network is
+// deterministic for a fixed (seed, shard count): unsharded it is
+// single-threaded; sharded it runs one goroutine per shard under
+// sim.Parallel with all mutable execution state partitioned (see shard).
 type Network struct {
-	Eng       *sim.Engine
-	rand      *rand.Rand
-	faultRand *rand.Rand // fault-injection draws; isolated from rand
+	Eng  *sim.Engine
+	seed int64
 
 	// MTU is the payload bytes per full data packet (1000, as in the
 	// paper's fluid model and the HPCC artifact).
@@ -69,52 +71,45 @@ type Network struct {
 	// Deterministic targeted-loss tests use it to kill exact packets.
 	DropFilter func(kind Kind, flowID int, seq int64) bool
 
-	// OnFlowFinish, when set, is invoked as each flow completes.
+	// OnFlowFinish, when set, is invoked as each flow completes. On a
+	// sharded network it fires on the finishing flow's worker goroutine,
+	// so callbacks used with Shard(k > 1) must be concurrency-safe
+	// (experiment harnesses collect flow records after the run instead).
 	OnFlowFinish func(*Flow)
 
 	// Hooks are optional per-event observers (all nil by default; a nil
 	// hook costs one branch on the hot path). internal/trace attaches
-	// recorders here.
+	// recorders here. The same sharding caveat as OnFlowFinish applies.
 	Hooks Hooks
 
 	hosts      []*Host
 	hostByNode []*Host // node id -> host (nil for switch ids); O(1) hostByID
 	switches   []*Switch
 	flows      []*Flow
-	pool       []*Packet
 	nextID     int
-	unfinished int // flows added and not yet finished (AllFinished is O(1))
+	// unfinished counts flows added and not yet finished (AllFinished is
+	// O(1)). Atomic because sharded runs decrement it from worker
+	// goroutines and read it at epoch barriers; on amd64 the uncontended
+	// load/add cost is indistinguishable from the plain int it replaced.
+	unfinished atomic.Int64
+
+	// Execution shards: shards[0] always exists and wraps Eng (the
+	// sequential simulator is the one-shard special case); Shard(k > 1)
+	// appends the rest, builds mail, and sets window to the minimum
+	// cross-shard link delay (the parallel lookahead).
+	shards []*shard
+	mail   *sim.Mailboxes
+	window sim.Time
 
 	// routeEpoch versions the forwarding state: AddRoute bumps it, and a
 	// flow's pre-resolved flat path is honored only while its pathEpoch
 	// matches (see Switch.Receive). It starts at 1 so the zero Flow never
-	// accidentally matches. nowFn is Eng.Now bound once, shared by every
-	// flow's cc.Env instead of allocating a method value per flow.
+	// accidentally matches.
 	routeEpoch uint64
-	nowFn      func() sim.Time
 
 	// probeFlow is reused by ProbePath so probing allocates nothing and
 	// never touches the packet pool.
 	probeFlow Flow
-
-	// Lifetime counters (snapshotted by Stats). Pure accounting: no code
-	// path branches on them, so they cannot perturb simulation results.
-	dataSent      int64 // data packets released by senders
-	dataDelivered int64 // data packets that reached their receiver
-	acksSent      int64 // acknowledgements generated by receivers
-	ecnMarks      int64 // packets ECN-marked by RED
-	poolGets      int64 // packets requested from the pool
-	poolAllocs    int64 // pool misses (fresh allocations)
-
-	// Loss and recovery counters (all zero in lossless runs).
-	dropsData    int64 // data packets dropped, any cause
-	dropsAck     int64 // ACK packets dropped, any cause
-	dropsBuffer  int64 // tail drops at a full egress buffer
-	dropsWire    int64 // in-transit losses (fault injection or link down)
-	retransmits  int64 // data packets re-sent by go-back-N
-	rtoFires     int64 // retransmission timeouts that triggered recovery
-	dupAcks      int64 // stale/duplicate cumulative ACKs at senders
-	dataOutOfSeq int64 // data discarded by receivers (gap or duplicate)
 }
 
 // DropCause says why a packet was dropped.
@@ -157,27 +152,28 @@ type Hooks struct {
 
 // New returns an empty network over eng with the given PRNG seed.
 func New(eng *sim.Engine, seed int64) *Network {
-	return &Network{
+	n := &Network{
 		Eng:         eng,
-		rand:        rand.New(rand.NewSource(seed)),
-		faultRand:   rand.New(rand.NewSource(seed ^ 0x5dee_c0de)),
+		seed:        seed,
 		MTU:         1000,
 		HeaderBytes: 48,
 		AckBytes:    64,
 		RTOMin:      100 * sim.Microsecond,
 		RTOMax:      10 * sim.Millisecond,
 		routeEpoch:  1,
-		nowFn:       eng.Now,
 	}
+	n.shards = []*shard{newShard(n, 0, eng)}
+	return n
 }
 
-// Rand returns the network's deterministic PRNG.
-func (n *Network) Rand() *rand.Rand { return n.rand }
+// Rand returns the network's deterministic PRNG (shard 0's stream, the
+// only one on an unsharded network).
+func (n *Network) Rand() *rand.Rand { return n.shards[0].rand }
 
 // AddHost creates a host. Host ids are assigned in creation order and are
 // the ids used in FlowSpec and routing.
 func (n *Network) AddHost() *Host {
-	h := &Host{net: n, id: n.nextID}
+	h := &Host{net: n, sh: n.shards[0], id: n.nextID}
 	n.nextID++
 	n.hosts = append(n.hosts, h)
 	for len(n.hostByNode) < h.id {
@@ -189,7 +185,7 @@ func (n *Network) AddHost() *Host {
 
 // AddSwitch creates a switch.
 func (n *Network) AddSwitch() *Switch {
-	s := &Switch{net: n, id: n.nextID}
+	s := &Switch{net: n, sh: n.shards[0], id: n.nextID}
 	n.nextID++
 	n.switches = append(n.switches, s)
 	return s
@@ -207,8 +203,10 @@ func (n *Network) Flows() []*Flow { return n.flows }
 // Connect links a and b with a full-duplex link of the given bandwidth and
 // propagation delay, returning (a's port, b's port).
 func (n *Network) Connect(a, b Node, bps float64, delay sim.Time) (*Port, *Port) {
-	pa := &Port{net: n, owner: a, bw: bps, delay: delay}
-	pb := &Port{net: n, owner: b, bw: bps, delay: delay}
+	// All nodes live on shard 0 at construction time; Shard rebinds.
+	sh := n.shards[0]
+	pa := &Port{net: n, sh: sh, eng: sh.eng, owner: a, bw: bps, delay: delay}
+	pb := &Port{net: n, sh: sh, eng: sh.eng, owner: b, bw: bps, delay: delay}
 	pa.peer, pb.peer = pb, pa
 	pa.txDone = pa.drain
 	pb.txDone = pb.drain
@@ -246,7 +244,9 @@ func (n *Network) AddFlow(spec FlowSpec, algo cc.Algorithm) *Flow {
 		panic("net: flow size must be positive")
 	}
 	src := n.hostByID(spec.Src)
-	f := &Flow{Spec: spec, net: n, host: src, algo: algo}
+	// The flow's sender side executes on the source host's shard: its
+	// start event, pacing timers, RTO and ACK processing all run there.
+	f := &Flow{Spec: spec, net: n, sh: src.sh, eng: src.sh.eng, host: src, algo: algo}
 	if err := n.pathInfo(f); err != nil {
 		panic("net: " + err.Error())
 	}
@@ -256,8 +256,8 @@ func (n *Network) AddFlow(spec FlowSpec, algo cc.Algorithm) *Flow {
 	}
 	f.rto = f.rtoBase
 	n.flows = append(n.flows, f)
-	n.unfinished++
-	n.Eng.At(spec.Start, f.start)
+	n.unfinished.Add(1)
+	f.eng.At(spec.Start, f.start)
 	return f
 }
 
@@ -372,97 +372,13 @@ func (n *Network) ProbePath(spec FlowSpec) (hops int, baseRTT sim.Time, minBw fl
 	return f.hops, f.baseRTT, f.minBw, nil
 }
 
-// getPacket returns a pooled packet with its arrival closure bound.
-func (n *Network) getPacket() *Packet {
-	n.poolGets++
-	if m := len(n.pool); m > 0 {
-		p := n.pool[m-1]
-		n.pool = n.pool[:m-1]
-		return p
-	}
-	n.poolAllocs++
-	p := &Packet{}
-	p.arrive = func() {
-		if d := p.dest; d.ownSw != nil {
-			d.ownSw.Receive(p, d)
-		} else if d.ownHost != nil {
-			d.ownHost.Receive(p, d)
-		} else {
-			d.owner.Receive(p, d)
-		}
-	}
-	return p
-}
-
-// putPacket recycles a packet. The pool is uncapped: its length is
-// bounded by the peak number of simultaneously live packets (every pooled
-// packet was allocated for a moment when that many were in flight), so an
-// explicit cap only creates steady-state pool misses — the old 1<<16 cap
-// made every run whose in-flight peak crossed it allocate packets forever
-// after, which is exactly what the PoolAllocs counter flags.
-func (n *Network) putPacket(p *Packet) {
-	p.reset()
-	n.pool = append(n.pool, p)
-}
-
-// dropInTransit decides whether fault injection loses p on the wire. PFC
-// control frames are never randomly dropped: modeling their loss without
-// a PFC-level watchdog would just deadlock the fabric.
-func (n *Network) dropInTransit(p *Packet) bool {
-	switch p.Kind {
-	case Data:
-		if n.DropDataProb > 0 && n.faultRand.Float64() < n.DropDataProb {
-			return true
-		}
-		if n.DropFilter != nil && n.DropFilter(Data, p.Flow.Spec.ID, p.Seq) {
-			return true
-		}
-	case Ack:
-		if n.DropAckProb > 0 && n.faultRand.Float64() < n.DropAckProb {
-			return true
-		}
-		if n.DropFilter != nil && n.DropFilter(Ack, p.Flow.Spec.ID, p.AckSeq) {
-			return true
-		}
-	}
-	return false
-}
-
-// drop accounts for a lost packet and recycles it. Any PFC ingress bytes
-// the packet still holds are credited back, so a drop can never wedge the
-// pause accounting.
-func (n *Network) drop(p *Packet, cause DropCause) {
-	if p.ingress != nil {
-		p.ingress.creditIngress(int64(p.Wire))
-		p.ingress = nil
-	}
-	switch p.Kind {
-	case Data:
-		n.dropsData++
-	case Ack:
-		n.dropsAck++
-	}
-	if cause == DropTail {
-		n.dropsBuffer++
-	} else {
-		n.dropsWire++
-	}
-	if h := n.Hooks.OnDrop; h != nil {
-		seq := p.Seq
-		if p.Kind == Ack {
-			seq = p.AckSeq
-		}
-		h(p.Flow, p.Kind, seq, cause)
-	}
-	n.putPacket(p)
-}
-
 // AllFinished reports whether every flow has completed. It is O(1) — a
 // live counter maintained by AddFlow and Flow.finish — because experiment
 // loops consult it before every engine step: with the previous O(flows)
 // scan it was over half the CPU time of a datacenter-scale run (52% of a
-// fig10-medium profile at ~10k flows).
-func (n *Network) AllFinished() bool { return n.unfinished == 0 }
+// fig10-medium profile at ~10k flows). On a sharded run it doubles as the
+// parallel stop condition, evaluated at epoch barriers.
+func (n *Network) AllFinished() bool { return n.unfinished.Load() == 0 }
 
 // CheckConservation verifies the end-to-end conservation invariants after
 // a run: every finished flow delivered and acknowledged exactly its size,

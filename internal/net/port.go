@@ -25,6 +25,16 @@ type Port struct {
 	owner Node
 	peer  *Port
 
+	// sh/eng are the execution shard the port's owner lives on and that
+	// shard's engine (always shard 0 until Network.Shard rebinds). Every
+	// event the port schedules — serialization completion, local
+	// propagation arrival — goes to eng; pool, PRNG and counter traffic
+	// goes to sh. xmail, nil for intra-shard links, is the mailbox this
+	// port hands packets into when its peer lives on a different shard.
+	sh    *shard
+	eng   *sim.Engine
+	xmail *sim.Outbox
+
 	// Concrete views of owner, exactly one non-nil. Packet arrival is the
 	// single hottest call in the simulator; dispatching through these
 	// instead of the Node interface turns it into a direct (inlinable)
@@ -142,7 +152,7 @@ func (pt *Port) bufferLimit() int64 {
 func (pt *Port) send(p *Packet) {
 	if lim := pt.bufferLimit(); lim > 0 && p.Kind != Pause && p.Kind != Resume &&
 		pt.q.Bytes()+int64(p.Wire) > lim {
-		pt.net.drop(p, DropTail)
+		pt.sh.drop(p, DropTail)
 		return
 	}
 	if pt.red != nil && p.Kind == Data {
@@ -157,7 +167,7 @@ func (pt *Port) send(p *Packet) {
 	if !pt.busy && !pt.pausedBy && pt.q.Len() == 0 {
 		pt.busy = true
 		pt.txPkt = p
-		pt.net.Eng.After(pt.serialize(p.Wire), pt.txDone)
+		pt.eng.After(pt.serialize(p.Wire), pt.txDone)
 		return
 	}
 	pt.q.Push(p)
@@ -184,12 +194,12 @@ func (pt *Port) sendControl(p *Packet) {
 			if head.Kind == p.Kind {
 				// Duplicate (defensive: alternation should prevent it);
 				// the queued frame already says this.
-				pt.net.putPacket(p)
+				pt.sh.putPacket(p)
 				return
 			}
 			pt.q.Pop()
-			pt.net.putPacket(head)
-			pt.net.putPacket(p)
+			pt.sh.putPacket(head)
+			pt.sh.putPacket(p)
 			return
 		}
 	}
@@ -216,9 +226,9 @@ func (pt *Port) markECN(p *Packet) {
 	case q <= r.KMaxBytes:
 		prob = r.PMax * float64(q-r.KMinBytes) / float64(r.KMaxBytes-r.KMinBytes)
 	}
-	if pt.net.rand.Float64() < prob {
+	if pt.sh.rand.Float64() < prob {
 		p.ECN = true
-		pt.net.ecnMarks++
+		pt.sh.ecnMarks++
 	}
 }
 
@@ -237,7 +247,7 @@ func (pt *Port) kick() {
 	p := pt.q.Pop()
 	pt.busy = true
 	pt.txPkt = p
-	pt.net.Eng.After(pt.serialize(p.Wire), pt.txDone)
+	pt.eng.After(pt.serialize(p.Wire), pt.txDone)
 }
 
 // serialize returns TransmitTime(wire, pt.bw) through the one-entry memo.
@@ -256,6 +266,10 @@ func (pt *Port) drain() { pt.finishTx(pt.txPkt) }
 
 // finishTx completes serialization: stamps telemetry, releases PFC ingress
 // accounting, schedules arrival at the peer, and starts the next packet.
+// When the peer lives on another shard the arrival goes through the
+// mailbox instead of the local engine: it executes on the peer's shard
+// after the epoch barrier, at the exact same simulated time — propagation
+// delay is the lookahead that makes the barrier window safe.
 func (pt *Port) finishTx(p *Packet) {
 	pt.txPkt = nil
 	pt.txBytes += int64(p.Wire)
@@ -263,7 +277,7 @@ func (pt *Port) finishTx(p *Packet) {
 		p.Hops = append(p.Hops, cc.Telemetry{
 			QueueBytes: pt.q.Bytes(),
 			TxBytes:    pt.txBytes,
-			TS:         pt.net.Eng.Now(),
+			TS:         pt.eng.Now(),
 			RateBps:    pt.bw,
 		})
 	}
@@ -271,18 +285,22 @@ func (pt *Port) finishTx(p *Packet) {
 		p.ingress.creditIngress(int64(p.Wire))
 		p.ingress = nil
 	}
-	if pt.down || pt.net.dropInTransit(p) {
+	if pt.down || pt.sh.dropInTransit(p) {
 		cause := DropWire
 		if pt.down {
 			cause = DropLinkDown
 		}
-		pt.net.drop(p, cause)
+		pt.sh.drop(p, cause)
 		pt.busy = false
 		pt.kick()
 		return
 	}
 	p.dest = pt.peer
-	pt.net.Eng.After(pt.delay, p.arrive)
+	if pt.xmail == nil {
+		pt.eng.After(pt.delay, p.arrive)
+	} else {
+		pt.xmail.Send(pt.eng.Now()+pt.delay, p.arrive)
+	}
 	pt.busy = false
 	pt.kick()
 }
@@ -305,9 +323,11 @@ func (pt *Port) SetLinkDown(down bool) {
 // ScheduleFlap schedules a link-down window [at, at+duration) on the
 // port's transmit direction. Flows crossing the window need
 // Network.LossRecovery to survive it.
+// Schedule flaps after Network.Shard: the events must land on the shard
+// engine the port ends up bound to.
 func (pt *Port) ScheduleFlap(at sim.Time, duration sim.Time) {
-	pt.net.Eng.At(at, func() { pt.SetLinkDown(true) })
-	pt.net.Eng.At(at+duration, func() { pt.SetLinkDown(false) })
+	pt.eng.At(at, func() { pt.SetLinkDown(true) })
+	pt.eng.At(at+duration, func() { pt.SetLinkDown(false) })
 }
 
 // chargeIngress attributes wire bytes buffered in the owner to this
@@ -333,7 +353,7 @@ func (pt *Port) creditIngress(bytes int64) {
 }
 
 func (pt *Port) sendPFC(kind Kind) {
-	p := pt.net.getPacket()
+	p := pt.sh.getPacket()
 	p.Kind = kind
 	p.Wire = pfcFrameBytes
 	pt.sendControl(p)

@@ -14,6 +14,7 @@ import "fmt"
 // sequence (see Flow.fwdPath) that Receive indexes by hop count.
 type Switch struct {
 	net   *Network
+	sh    *shard // execution shard (shard 0 until Network.Shard rebinds)
 	id    int
 	ports []*Port
 
@@ -93,11 +94,11 @@ func (s *Switch) Receive(p *Packet, in *Port) {
 	switch p.Kind {
 	case Pause:
 		in.pausedBy = true
-		s.net.putPacket(p)
+		s.sh.putPacket(p)
 		return
 	case Resume:
 		in.pausedBy = false
-		s.net.putPacket(p)
+		s.sh.putPacket(p)
 		in.kick()
 		return
 	}

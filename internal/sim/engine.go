@@ -228,6 +228,50 @@ func (e *Engine) Step() bool {
 	}
 }
 
+// StepBefore executes the next event if its time is strictly below end.
+// It reports whether an event was executed; false means the queue is empty
+// or the next live event is at or past end (the clock is left untouched in
+// both cases). This is the epoch primitive of the parallel runner: a shard
+// repeatedly calls StepBefore(horizon) and then parks at the barrier. The
+// body mirrors the fused Step for the same hot-path reasons.
+func (e *Engine) StepBefore(end Time) bool {
+	q := &e.q
+	for {
+		for q.curHead >= len(q.cur) {
+			if !q.refill() {
+				return false
+			}
+		}
+		en := q.cur[q.curHead]
+		s := &e.slots[en.idx]
+		if s.gen != en.gen {
+			q.curHead++ // cancelled corpse
+			continue
+		}
+		if en.at >= end {
+			return false
+		}
+		q.curHead++
+		e.now = en.at
+		e.live--
+		e.steps++
+		fn := s.fn
+		s.fn = nil
+		s.gen++
+		e.free = append(e.free, en.idx)
+		fn()
+		return true
+	}
+}
+
+// NextEventTime returns the time of the next live event, or false when the
+// queue is empty. It does not advance the clock (cancelled corpses at the
+// queue front are discarded as a side effect).
+func (e *Engine) NextEventTime() (Time, bool) {
+	en, ok := e.peekLive()
+	return en.at, ok
+}
+
 // Stop makes Run and RunUntil return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 

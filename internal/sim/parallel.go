@@ -1,0 +1,415 @@
+// Conservative, barrier-synchronized parallel execution: several engines
+// (one per topology shard) advance through shared time windows, exchanging
+// cross-shard events through mailboxes at window boundaries.
+//
+// The synchronization protocol is the classic YAWNS window scheme. Every
+// cross-shard interaction carries a minimum latency W (the lookahead: in
+// this simulator, the smallest propagation delay of any link whose
+// endpoints live on different shards). Each epoch the runner computes
+//
+//	horizon = min over shards of next-pending-event time + W
+//
+// and every shard executes its events with time strictly below the
+// horizon, independently and without locks. Any cross-shard event a shard
+// generates while executing is stamped at least W after the sending
+// event's time, i.e. at or beyond the horizon — so it can never land in
+// the past of a peer that has raced ahead inside the same window. At the
+// barrier the pending cross-shard events are exchanged and merged, a new
+// horizon is computed, and the next epoch begins. Windows are therefore
+// never fixed-width: when every shard is idle until some future time the
+// horizon jumps straight there (skip-ahead), so quiet phases cost one
+// barrier rather than thousands.
+//
+// Determinism contract: cross-shard events are stamped with a
+// (time, srcShard, localSeq) key and scheduled into the receiving engine
+// in exactly that order, so same-timestamp ties resolve identically on
+// every run. All stop/finish decisions are evaluated only at barriers,
+// where every shard's state is a pure function of the simulation inputs.
+// A run with a fixed shard count is bit-identical across repetitions (and
+// across worker scheduling); runs with different shard counts are each
+// internally deterministic but may differ from one another, because
+// sharding re-partitions the PRNG streams and same-timestamp tie order at
+// shared queues.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// maxTime is the largest representable simulated time; it serves as the
+// horizon when shards have no cross-shard links to bound each other.
+const maxTime = Time(math.MaxInt64)
+
+// xev is one cross-shard event: the absolute time it must execute at on
+// the receiving shard, the deterministic merge key (src shard id plus the
+// sender's per-shard send sequence), and the callback.
+type xev struct {
+	at  Time
+	seq uint64
+	src int32
+	fn  func()
+}
+
+// Mailboxes is the all-pairs cross-shard event exchange for k shards:
+// one single-producer/single-consumer box per (src, dst) pair. During an
+// epoch only src's worker appends to a box; at the barrier only dst's
+// worker drains it — the phases are separated by the barrier's lock, so
+// no box is ever touched from two goroutines at once.
+type Mailboxes struct {
+	k     int
+	boxes [][]xev  // boxes[src*k+dst]
+	seqs  []uint64 // per-src send counter (shared by all of src's outboxes)
+	outs  []Outbox // pre-built handles, indexed src*k+dst
+}
+
+// NewMailboxes returns the exchange for k shards.
+func NewMailboxes(k int) *Mailboxes {
+	if k < 2 {
+		panic(fmt.Sprintf("sim: mailboxes need at least 2 shards, got %d", k))
+	}
+	m := &Mailboxes{
+		k:     k,
+		boxes: make([][]xev, k*k),
+		seqs:  make([]uint64, k),
+		outs:  make([]Outbox, k*k),
+	}
+	for src := 0; src < k; src++ {
+		for dst := 0; dst < k; dst++ {
+			m.outs[src*k+dst] = Outbox{
+				box: &m.boxes[src*k+dst],
+				seq: &m.seqs[src],
+				src: int32(src),
+			}
+		}
+	}
+	return m
+}
+
+// Shards returns the shard count the exchange was built for.
+func (m *Mailboxes) Shards() int { return m.k }
+
+// Outbox returns the sending handle for the (src, dst) pair. Handles are
+// pre-built, so callers (ports, typically) can hold one pointer and send
+// without any map or index arithmetic on the hot path.
+func (m *Mailboxes) Outbox(src, dst int) *Outbox {
+	if src == dst {
+		panic("sim: outbox to own shard (schedule locally instead)")
+	}
+	return &m.outs[src*m.k+dst]
+}
+
+// Outbox is one (src, dst) sending handle. Send may only be called by the
+// src shard's worker during its run phase.
+type Outbox struct {
+	box *[]xev
+	seq *uint64
+	src int32
+}
+
+// Send enqueues fn to execute at absolute time at on the destination
+// shard. The (time, srcShard, localSeq) stamp fixes the merge order at
+// the receiving side.
+func (o *Outbox) Send(at Time, fn func()) {
+	*o.box = append(*o.box, xev{at: at, seq: *o.seq, src: o.src, fn: fn})
+	*o.seq++
+}
+
+// barrier is a reusable generation-counted rendezvous for n goroutines.
+// The last arriver runs the supplied action while holding the lock — a
+// single-writer window in which shared epoch state (horizon, stop flag)
+// can be read and written with plain operations — then releases everyone.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n goroutines have arrived. Exactly one caller —
+// the last to arrive — runs action (which may be nil) before the release.
+func (b *barrier) wait(action func()) {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		if action != nil {
+			action()
+		}
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// ParallelConfig parameterizes a Parallel runner.
+type ParallelConfig struct {
+	// Window is the lookahead W: the minimum latency of any cross-shard
+	// interaction. Zero means the shards cannot interact at all, and each
+	// epoch runs to queue exhaustion.
+	Window Time
+	// Done, when non-nil, is evaluated at every epoch barrier (by exactly
+	// one goroutine, with all shard work quiesced); returning true stops
+	// the run. Experiments pass Network.AllFinished here.
+	Done func() bool
+}
+
+// Parallel drives k engines through barrier-synchronized time windows
+// with one worker goroutine per engine. Construct with NewParallel, start
+// with Run; Stop cancels from any goroutine. A Parallel is single-use.
+type Parallel struct {
+	engines []*Engine
+	mail    *Mailboxes
+	window  Time
+	doneFn  func() bool
+
+	bar *barrier
+	// Epoch state: written only inside barrier actions (or before the
+	// workers start), read by workers between barriers — the barrier's
+	// lock orders every access.
+	curEnd  Time
+	curStop bool
+	next    []Time // per-shard next-event time after drain
+	has     []bool // per-shard: any event pending at all
+	drains  [][]xev
+	epochs  uint64
+
+	stopReq atomic.Bool
+
+	// Progress snapshot, published atomically at each barrier so an
+	// observer goroutine can watch a run without synchronizing with (or
+	// perturbing) the workers.
+	progEvents atomic.Uint64
+	progEpochs atomic.Uint64
+	progNow    atomic.Int64
+
+	errMu sync.Mutex
+	err   error
+}
+
+// NewParallel builds a runner over the given engines. mail must have been
+// created for exactly len(engines) shards; it may be nil only for a
+// single engine (no cross-shard traffic to exchange).
+func NewParallel(engines []*Engine, mail *Mailboxes, cfg ParallelConfig) *Parallel {
+	if len(engines) == 0 {
+		panic("sim: parallel runner needs at least one engine")
+	}
+	if mail != nil && mail.k != len(engines) {
+		panic(fmt.Sprintf("sim: mailboxes built for %d shards, got %d engines", mail.k, len(engines)))
+	}
+	if mail == nil && len(engines) > 1 {
+		panic("sim: multiple engines require mailboxes")
+	}
+	return &Parallel{
+		engines: engines,
+		mail:    mail,
+		window:  cfg.Window,
+		doneFn:  cfg.Done,
+		bar:     newBarrier(len(engines)),
+		next:    make([]Time, len(engines)),
+		has:     make([]bool, len(engines)),
+		drains:  make([][]xev, len(engines)),
+	}
+}
+
+// horizon returns minNext + window, saturating at maxTime (a zero window
+// means the shards cannot interact, so nothing bounds the epoch).
+func (p *Parallel) horizon(minNext Time) Time {
+	if p.window <= 0 {
+		return maxTime
+	}
+	h := minNext + p.window
+	if h < minNext {
+		return maxTime
+	}
+	return h
+}
+
+// Run executes epochs until every queue drains, Done reports true, Stop
+// is called, or a shard panics (the panic is recovered and returned as an
+// error rather than crashing sibling shards mid-epoch). It blocks until
+// all workers have parked at a barrier and exited.
+func (p *Parallel) Run() error {
+	minNext, any := Time(0), false
+	for _, e := range p.engines {
+		if t, ok := e.NextEventTime(); ok && (!any || t < minNext) {
+			minNext, any = t, true
+		}
+	}
+	if !any || (p.doneFn != nil && p.doneFn()) {
+		return nil
+	}
+	p.curEnd = p.horizon(minNext)
+	p.progNow.Store(int64(minNext))
+	var wg sync.WaitGroup
+	for w := range p.engines {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			p.worker(w)
+		}(w)
+	}
+	wg.Wait()
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
+}
+
+// Stop requests cancellation. Workers notice within ~1024 events even
+// mid-epoch; the run then winds down at the next barrier. Safe to call
+// from any goroutine, including Done and signal handlers.
+func (p *Parallel) Stop() { p.stopReq.Store(true) }
+
+// Progress returns the counters published at the most recent barrier:
+// total events executed across all shards, the simulated-time floor every
+// shard has reached, and epochs completed. Safe to call concurrently with
+// Run; reading it never perturbs the simulation.
+func (p *Parallel) Progress() (events uint64, now Time, epochs uint64) {
+	return p.progEvents.Load(), Time(p.progNow.Load()), p.progEpochs.Load()
+}
+
+// Epochs returns the number of barrier-synchronized windows completed.
+func (p *Parallel) Epochs() uint64 { return p.progEpochs.Load() }
+
+// ShardSteps returns each shard engine's executed-event count. Call it
+// after Run returns.
+func (p *Parallel) ShardSteps() []uint64 {
+	steps := make([]uint64, len(p.engines))
+	for i, e := range p.engines {
+		steps[i] = e.Steps()
+	}
+	return steps
+}
+
+func (p *Parallel) worker(w int) {
+	for {
+		end, stop := p.curEnd, p.curStop
+		if stop {
+			return
+		}
+		p.runPhase(w, end)
+		// Barrier 1: every shard has finished executing inside the
+		// window, so every cross-shard send for this epoch is in its box.
+		p.bar.wait(nil)
+		p.drainPhase(w)
+		// Barrier 2: every inbox is merged; the last arriver computes the
+		// next horizon and the stop decision from fully quiesced state.
+		p.bar.wait(p.advance)
+	}
+}
+
+// fail records the first worker panic and requests a cooperative stop.
+// The panicking worker keeps participating in barriers so its siblings
+// are released rather than deadlocked.
+func (p *Parallel) fail(w int, r any) {
+	p.errMu.Lock()
+	if p.err == nil {
+		p.err = fmt.Errorf("sim: shard %d panicked: %v\n%s", w, r, debug.Stack())
+	}
+	p.errMu.Unlock()
+	p.stopReq.Store(true)
+}
+
+// runPhase executes shard w's events with time strictly below end,
+// checking for cancellation every 1024 events so a Stop mid-epoch does
+// not have to wait for a long window to drain.
+func (p *Parallel) runPhase(w int, end Time) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(w, r)
+		}
+	}()
+	eng := p.engines[w]
+	n := 0
+	for eng.StepBefore(end) {
+		if n++; n&1023 == 0 && p.stopReq.Load() {
+			return
+		}
+	}
+}
+
+// drainPhase merges shard w's inboxes — every (src, w) box — in the
+// deterministic (time, srcShard, localSeq) order and schedules the events
+// into w's engine, then publishes w's next-event time for the horizon
+// computation at the following barrier.
+func (p *Parallel) drainPhase(w int) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.fail(w, r)
+		}
+	}()
+	eng := p.engines[w]
+	if m := p.mail; m != nil {
+		buf := p.drains[w][:0]
+		for src := 0; src < m.k; src++ {
+			box := &m.boxes[src*m.k+w]
+			buf = append(buf, *box...)
+			*box = (*box)[:0]
+		}
+		if len(buf) > 1 {
+			sort.Slice(buf, func(i, j int) bool {
+				a, b := buf[i], buf[j]
+				if a.at != b.at {
+					return a.at < b.at
+				}
+				if a.src != b.src {
+					return a.src < b.src
+				}
+				return a.seq < b.seq
+			})
+		}
+		for i := range buf {
+			eng.At(buf[i].at, buf[i].fn)
+			buf[i].fn = nil // don't retain callbacks past this epoch
+		}
+		p.drains[w] = buf[:0]
+	}
+	t, ok := eng.NextEventTime()
+	p.next[w], p.has[w] = t, ok
+}
+
+// advance is the epoch-barrier action: executed by exactly one goroutine
+// while every other worker is parked, it publishes progress and computes
+// the next window (or the stop decision) from globally quiesced state —
+// the only place such decisions are made, which is what keeps fixed-shard
+// runs bit-identical across repetitions.
+func (p *Parallel) advance() {
+	p.epochs++
+	minNext, any := Time(0), false
+	var events uint64
+	for w, e := range p.engines {
+		events += e.Steps()
+		if p.has[w] && (!any || p.next[w] < minNext) {
+			minNext, any = p.next[w], true
+		}
+	}
+	p.progEvents.Store(events)
+	p.progEpochs.Store(p.epochs)
+	stop := p.stopReq.Load() || !any
+	if !stop && p.doneFn != nil && p.doneFn() {
+		stop = true
+	}
+	if stop {
+		p.curStop = true
+		return
+	}
+	p.progNow.Store(int64(minNext))
+	p.curEnd = p.horizon(minNext)
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestMailboxOrdering checks the deterministic merge: events drained into
+// a shard execute in (time, srcShard, localSeq) order regardless of the
+// order the senders appended them.
+func TestMailboxOrdering(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine(), NewEngine()}
+	mail := NewMailboxes(3)
+	p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+
+	var got []string
+	rec := func(tag string) func() {
+		return func() { got = append(got, tag) }
+	}
+	// Shard 2 sends before shard 0, with timestamp ties across sources and
+	// within one source (two sends at t=5 from shard 0 must keep their send
+	// order via localSeq).
+	mail.Outbox(2, 1).Send(5, rec("t5 src2 first"))
+	mail.Outbox(2, 1).Send(3, rec("t3 src2"))
+	mail.Outbox(0, 1).Send(5, rec("t5 src0 first"))
+	mail.Outbox(0, 1).Send(5, rec("t5 src0 second"))
+	mail.Outbox(0, 1).Send(7, rec("t7 src0"))
+
+	p.drainPhase(1)
+	eng := engines[1]
+	for eng.Step() {
+	}
+	want := []string{"t3 src2", "t5 src0 first", "t5 src0 second", "t5 src2 first", "t7 src0"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order = %v, want %v", got, want)
+	}
+}
+
+func TestMailboxValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("one-shard mailboxes", func() { NewMailboxes(1) })
+	mustPanic("self outbox", func() { NewMailboxes(2).Outbox(1, 1) })
+	mustPanic("no engines", func() { NewParallel(nil, nil, ParallelConfig{}) })
+	mustPanic("nil mail, 2 engines", func() {
+		NewParallel([]*Engine{NewEngine(), NewEngine()}, nil, ParallelConfig{})
+	})
+	mustPanic("mail size mismatch", func() {
+		NewParallel([]*Engine{NewEngine(), NewEngine()}, NewMailboxes(3), ParallelConfig{})
+	})
+}
+
+// toyRing wires k shards into a ring of ping-pong timers: each shard's
+// node, upon firing, re-arms locally and sends a cross-shard event to the
+// next shard with delay w. It returns the runner and the per-shard trace.
+func toyRing(k int, w Time, hops int) (*Parallel, [][]string) {
+	engines := make([]*Engine, k)
+	for i := range engines {
+		engines[i] = NewEngine()
+	}
+	var mail *Mailboxes
+	if k > 1 {
+		mail = NewMailboxes(k)
+	}
+	traces := make([][]string, k)
+	// Each chain carries its own hop budget through the closure chain: the
+	// only state crossing shards rides in the cross-shard events themselves,
+	// whose handoff the epoch barrier orders.
+	var hop func(shard, id, left int) func()
+	hop = func(shard, id, left int) func() {
+		return func() {
+			eng := engines[shard]
+			traces[shard] = append(traces[shard],
+				fmt.Sprintf("t=%d shard=%d id=%d", eng.Now(), shard, id))
+			if left <= 1 {
+				return
+			}
+			next := (shard + 1) % k
+			at := eng.Now() + w
+			if next == shard {
+				eng.At(at, hop(next, id+1, left-1))
+			} else {
+				mail.Outbox(shard, next).Send(at, hop(next, id+1, left-1))
+			}
+		}
+	}
+	// Two concurrent ping-pong chains starting on different shards, with a
+	// timestamp collision at t=0 when k == 1.
+	engines[0].At(0, hop(0, 0, hops/2))
+	engines[(k-1)%k].At(0, hop((k-1)%k, 1000, hops-hops/2))
+	return NewParallel(engines, mail, ParallelConfig{Window: w}), traces
+}
+
+// TestParallelDeterministicToy runs the same toy workload twice per shard
+// count and requires identical traces — the bit-identical-repetition half
+// of the determinism contract, at the engine level.
+func TestParallelDeterministicToy(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5} {
+		run := func() [][]string {
+			p, traces := toyRing(k, 7, 400)
+			if err := p.Run(); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+			return traces
+		}
+		a, b := run(), run()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("k=%d: traces differ between repetitions", k)
+		}
+		total := 0
+		for _, tr := range a {
+			total += len(tr)
+		}
+		if total != 400 {
+			t.Fatalf("k=%d: executed %d hops, want 400", k, total)
+		}
+	}
+}
+
+// TestParallelSkipAhead verifies the horizon jumps over quiet gaps: with
+// events spaced far apart relative to the lookahead, the epoch count must
+// track the event count, not simulated-time / window.
+func TestParallelSkipAhead(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail := NewMailboxes(2)
+	p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+	// 50 events, each one million time units after the last.
+	n := 0
+	var next func()
+	next = func() {
+		if n++; n < 50 {
+			engines[0].After(1_000_000, next)
+		}
+	}
+	engines[0].At(0, next)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("executed %d events, want 50", n)
+	}
+	// A fixed-width window scheme would need ~50M epochs here.
+	if p.Epochs() > 200 {
+		t.Fatalf("epochs = %d, want skip-ahead (<= 200)", p.Epochs())
+	}
+}
+
+// TestParallelStopDuringEpoch checks Stop cancels promptly from inside a
+// long epoch rather than waiting for the queue to drain.
+func TestParallelStopDuringEpoch(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail := NewMailboxes(2)
+	p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+	ran := 0
+	for i := 0; i < 100_000; i++ {
+		engines[0].At(Time(i), func() {
+			if ran++; ran == 2000 {
+				p.Stop()
+			}
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran >= 100_000 {
+		t.Fatalf("Stop did not interrupt the epoch: all %d events ran", ran)
+	}
+}
+
+// TestParallelPanicPropagates checks a worker panic surfaces as Run's
+// error (with the shard identified) instead of crashing the process or
+// deadlocking the sibling shards at a barrier.
+func TestParallelPanicPropagates(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine(), NewEngine()}
+	mail := NewMailboxes(3)
+	p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+	for i := 0; i < 3; i++ {
+		eng := engines[i]
+		var tick func()
+		tick = func() { eng.After(1, tick) }
+		engines[i].At(0, tick)
+	}
+	engines[1].At(500, func() { panic("boom") })
+	err := p.Run()
+	if err == nil {
+		t.Fatal("Run returned nil after a shard panic")
+	}
+	if !strings.Contains(err.Error(), "shard 1 panicked") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error = %q, want shard 1 / boom", err)
+	}
+}
+
+// TestParallelDoneStops checks the Done hook ends the run at a barrier.
+func TestParallelDoneStops(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail := NewMailboxes(2)
+	n := 0
+	p := NewParallel(engines, mail, ParallelConfig{
+		Window: 1,
+		Done:   func() bool { return n >= 10 },
+	})
+	var tick func()
+	tick = func() {
+		n++
+		engines[0].After(1, tick)
+	}
+	engines[0].At(0, tick)
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n < 10 || n > 10_000 {
+		t.Fatalf("Done hook stopped after %d events", n)
+	}
+}
+
+// TestParallelProgressMonotonic hammers Progress from a second goroutine
+// while a run executes; under -race this is the proof the observer path
+// is synchronization-free and safe.
+func TestParallelProgressMonotonic(t *testing.T) {
+	p, _ := toyRing(3, 2, 5_000)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var lastEv, lastEp uint64
+		var lastNow Time
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				runtime.Gosched() // don't starve the workers on 1 CPU
+			}
+			ev, now, ep := p.Progress()
+			if ev < lastEv || ep < lastEp || now < lastNow {
+				t.Errorf("progress went backwards: (%d,%d,%d) after (%d,%d,%d)",
+					ev, now, ep, lastEv, lastNow, lastEp)
+				return
+			}
+			lastEv, lastNow, lastEp = ev, now, ep
+		}
+	}()
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	ev, _, ep := p.Progress()
+	if ev == 0 || ep == 0 {
+		t.Fatalf("final progress empty: events=%d epochs=%d", ev, ep)
+	}
+}

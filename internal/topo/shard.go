@@ -1,0 +1,124 @@
+package topo
+
+import "sort"
+
+// ShardMap partitions the fat-tree for parallel execution, returning a
+// node-id -> shard assignment (suitable for Network.Shard) and the shard
+// count actually used (never more than k, and never more than the number
+// of partition cells available).
+//
+// For k up to Pods+1 the partition is the natural one the paper's
+// topology suggests: one shard per pod (its hosts, ToRs and Aggs — all
+// intra-pod links stay shard-local) plus one shard for the spine layer.
+// Every cross-shard link is then an Agg-Spine link, so the parallel
+// lookahead is the full fabric LinkDelay.
+//
+// For larger k the pods are split into finer cells — one per ToR subtree
+// (the ToR and its hosts), one per Agg, one per Spine — and the cells are
+// packed onto shards by weighted greedy (heaviest cell first onto the
+// lightest shard). Cross-shard links are still switch-to-switch fabric
+// links with the same LinkDelay, so any cell packing is causally valid;
+// finer cells just trade lookahead-irrelevant locality for balance.
+//
+// The assignment is a pure function of (cfg, k): deterministic, so a
+// sharded run's partition never varies between repetitions.
+func (ft *FatTree) ShardMap(k int) ([]int, int) {
+	cfg := ft.Config
+	nNodes := len(ft.Hosts) + len(ft.ToRs) + len(ft.Aggs) + len(ft.Spines)
+	assign := make([]int, nNodes)
+	if k <= 1 {
+		return assign, 1
+	}
+
+	if k <= cfg.Pods+1 {
+		// Pod-level cells: pods round-robin over shards 0..k-2 when k-1 <
+		// Pods, spines on the last shard.
+		podShard := func(p int) int { return p % (k - 1) }
+		for i, h := range ft.Hosts {
+			assign[h.NodeID()] = podShard(i / (cfg.ToRsPerPod * cfg.HostsPerToR))
+		}
+		for i, t := range ft.ToRs {
+			assign[t.NodeID()] = podShard(i / cfg.ToRsPerPod)
+		}
+		for i, a := range ft.Aggs {
+			assign[a.NodeID()] = podShard(i / cfg.AggsPerPod)
+		}
+		for _, s := range ft.Spines {
+			assign[s.NodeID()] = k - 1
+		}
+		return assign, k
+	}
+
+	// Fine cells: ToR subtrees (ToR + its hosts), individual Aggs,
+	// individual Spines. Weight approximates event volume: one unit per
+	// node in the cell.
+	type cell struct {
+		nodes  []int
+		weight int
+	}
+	var cells []cell
+	for i, t := range ft.ToRs {
+		c := cell{nodes: []int{t.NodeID()}, weight: 1 + cfg.HostsPerToR}
+		for h := i * cfg.HostsPerToR; h < (i+1)*cfg.HostsPerToR; h++ {
+			c.nodes = append(c.nodes, ft.Hosts[h].NodeID())
+		}
+		cells = append(cells, c)
+	}
+	for _, a := range ft.Aggs {
+		cells = append(cells, cell{nodes: []int{a.NodeID()}, weight: 1})
+	}
+	for _, s := range ft.Spines {
+		cells = append(cells, cell{nodes: []int{s.NodeID()}, weight: 1})
+	}
+	if k > len(cells) {
+		k = len(cells)
+	}
+	// Heaviest-first greedy onto the lightest shard; stable order (by
+	// original index on weight ties, lowest shard id on load ties) keeps
+	// the packing deterministic.
+	order := make([]int, len(cells))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return cells[order[a]].weight > cells[order[b]].weight
+	})
+	load := make([]int, k)
+	for _, ci := range order {
+		best := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		for _, id := range cells[ci].nodes {
+			assign[id] = best
+		}
+		load[best] += cells[ci].weight
+	}
+	return assign, k
+}
+
+// ShardMap partitions the incast star: the switch and the receiver-side
+// congestion live on shard 0, and the remaining hosts spread round-robin
+// over the other shards (every host-switch link has the same delay, so
+// any split is causally valid). Shard counts above the host count are
+// clamped.
+func (s *Star) ShardMap(k int) ([]int, int) {
+	nNodes := len(s.Hosts) + 1
+	assign := make([]int, nNodes)
+	if k <= 1 {
+		return assign, 1
+	}
+	if k > len(s.Hosts) {
+		k = len(s.Hosts)
+	}
+	if k <= 1 {
+		return assign, 1
+	}
+	for i, h := range s.Hosts {
+		assign[h.NodeID()] = 1 + i%(k-1)
+	}
+	assign[s.Switch.NodeID()] = 0
+	return assign, k
+}

@@ -1,0 +1,171 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+
+	"faircc/internal/net"
+	"faircc/internal/sim"
+)
+
+func buildFT(t *testing.T, pods, tors, hosts int) (*net.Network, *FatTree) {
+	t.Helper()
+	nw := net.New(sim.NewEngine(), 1)
+	return nw, NewFatTree(nw, DefaultFatTree().Scaled(pods, tors, hosts))
+}
+
+// TestShardMapFatTreePods checks the pod-level partition: every pod's
+// hosts, ToRs and Aggs share one shard (all intra-pod links stay local)
+// and the spine layer gets the extra shard.
+func TestShardMapFatTreePods(t *testing.T) {
+	_, ft := buildFT(t, 4, 2, 2)
+	cfg := ft.Config
+	for k := 2; k <= cfg.Pods+1; k++ {
+		assign, got := ft.ShardMap(k)
+		if got != k {
+			t.Fatalf("k=%d: ShardMap used %d shards", k, got)
+		}
+		for p := 0; p < cfg.Pods; p++ {
+			want := assign[ft.ToRs[p*cfg.ToRsPerPod].NodeID()]
+			for i := 0; i < cfg.ToRsPerPod; i++ {
+				tor := ft.ToRs[p*cfg.ToRsPerPod+i]
+				if assign[tor.NodeID()] != want {
+					t.Fatalf("k=%d pod %d: ToR %d off-pod shard", k, p, i)
+				}
+				for h := 0; h < cfg.HostsPerToR; h++ {
+					host := ft.Hosts[(p*cfg.ToRsPerPod+i)*cfg.HostsPerToR+h]
+					if assign[host.NodeID()] != want {
+						t.Fatalf("k=%d pod %d: host under ToR %d on shard %d, want %d",
+							k, p, i, assign[host.NodeID()], want)
+					}
+				}
+			}
+			for i := 0; i < cfg.AggsPerPod; i++ {
+				agg := ft.Aggs[p*cfg.AggsPerPod+i]
+				if assign[agg.NodeID()] != want {
+					t.Fatalf("k=%d pod %d: Agg %d off-pod shard", k, p, i)
+				}
+			}
+		}
+		for _, s := range ft.Spines {
+			if assign[s.NodeID()] != k-1 {
+				t.Fatalf("k=%d: spine on shard %d, want %d", k, assign[s.NodeID()], k-1)
+			}
+		}
+	}
+}
+
+// TestShardMapFatTreeFine checks the fine-cell packing used when k
+// exceeds Pods+1: ToR subtrees stay intact (a host always shards with its
+// ToR — the host-ToR link has the only sub-fabric delay) and the load
+// spread is balanced.
+func TestShardMapFatTreeFine(t *testing.T) {
+	_, ft := buildFT(t, 2, 2, 8)
+	cfg := ft.Config
+	k := cfg.Pods + 4
+	assign, got := ft.ShardMap(k)
+	if got != k {
+		t.Fatalf("ShardMap used %d shards, want %d", got, k)
+	}
+	for i, tor := range ft.ToRs {
+		want := assign[tor.NodeID()]
+		for h := i * cfg.HostsPerToR; h < (i+1)*cfg.HostsPerToR; h++ {
+			if assign[ft.Hosts[h].NodeID()] != want {
+				t.Fatalf("host %d split from its ToR %d", h, i)
+			}
+		}
+	}
+	load := make([]int, k)
+	for _, s := range assign {
+		if s < 0 || s >= k {
+			t.Fatalf("assignment out of range: %d", s)
+		}
+		load[s]++
+	}
+	min, max := load[0], load[0]
+	for _, l := range load[1:] {
+		if l < min {
+			min = l
+		}
+		if l > max {
+			max = l
+		}
+	}
+	// Heaviest cell is a ToR subtree (1+8 nodes); greedy packing keeps the
+	// spread within one such cell.
+	if min == 0 || max-min > 1+cfg.HostsPerToR {
+		t.Fatalf("unbalanced packing: loads %v", load)
+	}
+}
+
+// TestShardMapFatTreeClamps checks degenerate shard counts: k <= 1 is the
+// identity partition and k beyond the cell count is clamped.
+func TestShardMapFatTreeClamps(t *testing.T) {
+	_, ft := buildFT(t, 2, 2, 2)
+	if assign, k := ft.ShardMap(1); k != 1 {
+		t.Fatalf("k=1 used %d shards", k)
+	} else {
+		for _, s := range assign {
+			if s != 0 {
+				t.Fatal("k=1 assignment not all-zero")
+			}
+		}
+	}
+	cells := len(ft.ToRs) + len(ft.Aggs) + len(ft.Spines)
+	if _, k := ft.ShardMap(1000); k != cells {
+		t.Fatalf("k=1000 clamped to %d, want the cell count %d", k, cells)
+	}
+}
+
+// TestShardMapDeterministic checks the assignment is a pure function of
+// (cfg, k) — the partition half of the determinism contract.
+func TestShardMapDeterministic(t *testing.T) {
+	_, ft1 := buildFT(t, 2, 2, 8)
+	_, ft2 := buildFT(t, 2, 2, 8)
+	for _, k := range []int{2, 3, 7, 40} {
+		a1, k1 := ft1.ShardMap(k)
+		a2, k2 := ft2.ShardMap(k)
+		if k1 != k2 || !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("k=%d: assignment differs between identical topologies", k)
+		}
+	}
+}
+
+// TestShardMapStar checks the incast partition: switch (and the shared
+// bottleneck) on shard 0, senders spread over the rest, oversized k
+// clamped to the host count.
+func TestShardMapStar(t *testing.T) {
+	nw := net.New(sim.NewEngine(), 1)
+	st := NewStar(nw, 5, 100e9, sim.Microsecond)
+	assign, k := st.ShardMap(3)
+	if k != 3 {
+		t.Fatalf("ShardMap used %d shards, want 3", k)
+	}
+	if assign[st.Switch.NodeID()] != 0 {
+		t.Fatalf("switch on shard %d, want 0", assign[st.Switch.NodeID()])
+	}
+	seen := map[int]int{}
+	for _, h := range st.Hosts {
+		s := assign[h.NodeID()]
+		if s < 1 || s >= k {
+			t.Fatalf("host on shard %d, want [1,%d)", s, k)
+		}
+		seen[s]++
+	}
+	if len(seen) != k-1 {
+		t.Fatalf("hosts use %d shards, want %d", len(seen), k-1)
+	}
+	if _, k := st.ShardMap(100); k != 5 {
+		t.Fatalf("oversized k clamped to %d, want 5", k)
+	}
+	if _, k := st.ShardMap(1); k != 1 {
+		t.Fatalf("k=1 used %d shards", k)
+	}
+	// A 1-host star clamps every k to sequential rather than dividing by
+	// zero in the round-robin.
+	nw2 := net.New(sim.NewEngine(), 1)
+	st2 := NewStar(nw2, 1, 100e9, sim.Microsecond)
+	if _, k := st2.ShardMap(4); k != 1 {
+		t.Fatalf("1-host star used %d shards, want 1", k)
+	}
+}
