@@ -24,7 +24,7 @@ bench-baseline:
 # Re-measure and gate against the committed baseline; non-zero exit when
 # events/sec regresses (or allocs/op grows) by more than 5%.
 bench-compare:
-	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr5.json
+	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr6.json
 
 # Profile the reference workload (fig10-medium): cpu.pprof + heap.pprof into
 # results/profiles/, the pair the PGO build and the perf notes come from.

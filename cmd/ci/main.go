@@ -26,7 +26,10 @@
 // grows — by more than -bench-threshold. ns/op changes are reported but
 // not gated: they swing with machine load, while events/sec on the same
 // experiment and allocations per op are the two numbers performance PRs
-// commit to.
+// commit to. The experiment run also records its peak retained-FCT-record
+// count and gates growth against the baseline, so a change that reverts a
+// streaming collector to unbounded per-flow retention fails here even if
+// it is throughput-neutral.
 package main
 
 import (
@@ -140,6 +143,11 @@ type ExpBench struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	EventsPerSec    float64 `json:"events_per_sec"`
 	EventSlotAllocs uint64  `json:"event_slot_allocs"`
+	// PeakFCTRecords is the largest per-run count of retained FCT records
+	// (flow completion samples held in memory at once). It is the memory
+	// gauge the streaming collectors exist to bound; a PR that silently
+	// reverts an experiment to unbounded retention moves this number.
+	PeakFCTRecords int `json:"peak_fct_records"`
 }
 
 // BenchBaseline is the BENCH_*.json schema.
@@ -201,9 +209,10 @@ func runExpBench(name, scale string, seed int64) (*ExpBench, error) {
 		WallSeconds:     wall.Seconds(),
 		EventsPerSec:    float64(rs.Events) / wall.Seconds(),
 		EventSlotAllocs: rs.EventSlotAllocs,
+		PeakFCTRecords:  rs.PeakFCTRecords,
 	}
-	fmt.Printf("   %d events in %.2fs (%.2fM ev/s), %d event slot allocs\n",
-		eb.Events, eb.WallSeconds, eb.EventsPerSec/1e6, eb.EventSlotAllocs)
+	fmt.Printf("   %d events in %.2fs (%.2fM ev/s), %d event slot allocs, peak %d FCT records\n",
+		eb.Events, eb.WallSeconds, eb.EventsPerSec/1e6, eb.EventSlotAllocs, eb.PeakFCTRecords)
 	return eb, nil
 }
 
@@ -289,6 +298,22 @@ func compareBaselines(base, cur *BenchBaseline, threshold float64) int {
 		} else {
 			fmt.Printf("gate experiment %s/%s events/sec %.3g -> %.3g (%+.1f%%) ok\n",
 				base.Experiment.Name, base.Experiment.Scale, bv, cv, 100*(cv/bv-1))
+		}
+		// Peak retained FCT records: a memory gauge, so lower is better
+		// and growth beyond threshold fails. A zero baseline (recorded
+		// before the gauge existed) only reports.
+		bp, cp := base.Experiment.PeakFCTRecords, cur.Experiment.PeakFCTRecords
+		switch {
+		case bp == 0:
+			fmt.Printf("info experiment %s/%s peak FCT records %d (no baseline, not gated)\n",
+				base.Experiment.Name, base.Experiment.Scale, cp)
+		case float64(cp) > float64(bp)*(1+threshold):
+			fmt.Printf("gate experiment %s/%s peak FCT records %d -> %d (+%.1f%%) REGRESSED\n",
+				base.Experiment.Name, base.Experiment.Scale, bp, cp, 100*(float64(cp)/float64(bp)-1))
+			regressions++
+		default:
+			fmt.Printf("gate experiment %s/%s peak FCT records %d -> %d ok\n",
+				base.Experiment.Name, base.Experiment.Scale, bp, cp)
 		}
 	}
 	return regressions

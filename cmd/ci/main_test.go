@@ -63,3 +63,30 @@ func TestCompareBaselinesGatesEventsPerSec(t *testing.T) {
 		t.Fatalf("missing benchmark counted as %d regression(s), want warning only", n)
 	}
 }
+
+func TestCompareBaselinesGatesPeakFCTRecords(t *testing.T) {
+	mk := func(peak int) *BenchBaseline {
+		return &BenchBaseline{
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium",
+				EventsPerSec: 1e6, PeakFCTRecords: peak},
+		}
+	}
+	base := mk(10_000)
+
+	if n := compareBaselines(base, mk(10_000), 0.05); n != 0 {
+		t.Fatalf("unchanged peak flagged as %d regression(s)", n)
+	}
+	if n := compareBaselines(base, mk(5_000), 0.05); n != 0 {
+		t.Fatalf("lower peak flagged as %d regression(s)", n)
+	}
+	// Memory gauge growth beyond threshold: an experiment quietly
+	// reverting to unbounded retention fails here.
+	if n := compareBaselines(base, mk(20_000), 0.05); n != 1 {
+		t.Fatalf("peak growth regression count = %d, want 1", n)
+	}
+	// A baseline recorded before the gauge existed reports but never
+	// gates.
+	if n := compareBaselines(mk(0), mk(20_000), 0.05); n != 0 {
+		t.Fatalf("zero baseline gated: %d regression(s)", n)
+	}
+}

@@ -6,8 +6,12 @@
 // Usage:
 //
 //	dcsim -workload hadoop -protocol hpcc -pods 2 -tors 2 -hosts 8 -ms 5
+//	dcsim -workload mix -protocol swift -oversub 4 -ms 2
+//	dcsim -k16 -ms 1 -shards 8
 //
 // Workloads: hadoop, websearch, storage, mix (websearch+storage).
+// -oversub N thins the ToR uplinks to an N:1 host-to-fabric ratio; -k16
+// swaps in the 4096-host k=16-style Clos.
 package main
 
 import (
@@ -34,10 +38,18 @@ func main() {
 		seed         = flag.Int64("seed", 1, "simulation seed")
 		shards       = flag.Int("shards", 0, "partition the fat-tree into N parallel shards (0/1 = sequential engine)")
 		distFile     = flag.String("dist", "", "flow-size distribution file (HPCC-artifact format; overrides -workload)")
+		oversub      = flag.Float64("oversub", 0, "ToR-layer oversubscription ratio, e.g. 4 for 4:1 (0 = the paper's 1:1 fabric)")
+		k16          = flag.Bool("k16", false, "use the 4096-host k=16-style Clos instead of -pods/-tors/-hosts")
 	)
 	flag.Parse()
 
 	ftCfg := faircc.DefaultFatTree().Scaled(*pods, *tors, *hosts)
+	if *k16 {
+		ftCfg = faircc.K16FatTree()
+	}
+	if *oversub > 0 {
+		ftCfg = ftCfg.Oversubscribed(*oversub)
+	}
 	duration := faircc.Time(*ms) * faircc.Millisecond
 	name := *workloadName
 	if *distFile != "" {
@@ -48,8 +60,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dcsim:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("%s on %d-host fat-tree, %s traffic, %.0f%% load, %v: %d flows\n\n",
-		*protocol, ftCfg.NumHosts(), *workloadName, *load*100, duration, len(specs))
+	fabric := "fat-tree"
+	if r := ftCfg.OversubscriptionRatio(); r != 1 {
+		fabric = fmt.Sprintf("%.3g:1-oversubscribed fat-tree", r)
+	}
+	fmt.Printf("%s on %d-host %s, %s traffic, %.0f%% load, %v: %d flows\n\n",
+		*protocol, ftCfg.NumHosts(), fabric, *workloadName, *load*100, duration, len(specs))
 
 	for _, vaisf := range []bool{false, true} {
 		label := *protocol

@@ -8,6 +8,7 @@
 //	fairsim -all [-scale medium] [-out results]
 //	fairsim -exp fig10 -progress -manifest [-pprof profiles]
 //	fairsim -exp incast-lossy -buffer-bytes 150000 -drop-data 5e-4 -drop-ack 5e-4
+//	fairsim -exp rtt-unfairness -rtt-slow-delay 100us -rtt-senders 8 -manifest
 //
 // Each experiment regenerates one figure of "Fast Convergence to Fairness
 // for Reduced Long Flow Tail Latency in Datacenter Networks" (Snyder &
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"faircc/internal/exp"
+	"faircc/internal/sim"
 	"faircc/internal/viz"
 )
 
@@ -52,6 +54,9 @@ func run() int {
 		dropData = flag.Float64("drop-data", 0, "lossy experiments: random data-packet wire-loss probability (0 = experiment default)")
 		dropAck  = flag.Float64("drop-ack", 0, "lossy experiments: random ACK wire-loss probability (0 = experiment default)")
 
+		rttSlowDelay = flag.Duration("rtt-slow-delay", 0, "rtt-unfairness experiments: slow group's access-link propagation delay (0 = scenario preset)")
+		rttSenders   = flag.Int("rtt-senders", 0, "rtt-unfairness experiments: senders per RTT class (0 = scenario preset)")
+
 		progress = flag.Bool("progress", false, "print periodic sim-time/events-per-sec lines for each run (stderr)")
 		every    = flag.Duration("progress-every", time.Second, "target interval between progress lines")
 		manifest = flag.Bool("manifest", false, "write <exp>.manifest.json (params, git-describe, RunStats) next to the CSV")
@@ -62,6 +67,8 @@ func run() int {
 	cfg := exp.Config{
 		Seed: *seed, Workers: *work, Scale: *scale, Shards: *shards,
 		BufferBytes: *bufBytes, DropDataProb: *dropData, DropAckProb: *dropAck,
+		RTTSlowDelay: sim.Time(rttSlowDelay.Nanoseconds()) * sim.Nanosecond,
+		RTTSenders:   *rttSenders,
 	}
 	if *progress {
 		cfg.Progress = printProgress

@@ -80,6 +80,12 @@ type (
 	FatTree = topo.FatTree
 	// FatTreeConfig sizes a fat-tree.
 	FatTreeConfig = topo.FatTreeConfig
+	// Dumbbell is the heterogeneous-RTT shared-bottleneck topology.
+	Dumbbell = topo.Dumbbell
+	// DumbbellConfig sizes a dumbbell and its per-class access delays.
+	DumbbellConfig = topo.DumbbellConfig
+	// SenderGroup is one RTT class of dumbbell senders.
+	SenderGroup = topo.SenderGroup
 
 	// ExperimentConfig controls experiment scale, seed and parallelism.
 	ExperimentConfig = exp.Config
@@ -90,6 +96,14 @@ type (
 	FlowRecord = metrics.FlowRecord
 	// FCTRecorder collects FlowRecords from a Network.
 	FCTRecorder = metrics.FCTRecorder
+	// StreamingAccumulator summarizes a value stream with bounded memory
+	// while keeping percentiles exact below its retention limit.
+	StreamingAccumulator = metrics.Accumulator
+	// ClassCollector streams per-RTT-class FCT and slowdown distributions
+	// from flow-finish callbacks without retaining per-flow records.
+	ClassCollector = metrics.ClassCollector
+	// ClassDist is one class's streamed distribution snapshot.
+	ClassDist = metrics.ClassDist
 
 	// CDF is a flow-size distribution.
 	CDF = stats.CDF
@@ -162,6 +176,25 @@ func NewFatTree(nw *Network, cfg FatTreeConfig) *FatTree { return topo.NewFatTre
 
 // DefaultFatTree returns the paper's 320-host datacenter topology.
 func DefaultFatTree() FatTreeConfig { return topo.DefaultFatTree() }
+
+// K16FatTree returns the 4096-host k=16-style Clos (16 pods, 8 ToR and 8
+// Agg per pod, 64 spines, 32 hosts per ToR); combine with
+// FatTreeConfig.Oversubscribed to thin the ToR uplinks.
+func K16FatTree() FatTreeConfig { return topo.K16FatTree() }
+
+// NewDumbbell builds a two-switch dumbbell whose sender groups reach a
+// shared bottleneck over per-group access delays (the RTT-heterogeneity
+// topology).
+func NewDumbbell(nw *Network, cfg DumbbellConfig) *Dumbbell { return topo.NewDumbbell(nw, cfg) }
+
+// DefaultDumbbell returns the datacenter-edge RTT-unfairness dumbbell:
+// equal-rate fast (1 us) and slow (25 us) access groups into a 100 Gb/s
+// bottleneck.
+func DefaultDumbbell() DumbbellConfig { return topo.DefaultDumbbell() }
+
+// WANEdgeDumbbell returns the WAN-edge variant: a 10 ms slow group and a
+// 10 Gb/s bottleneck, exercising RTO-scale delay heterogeneity.
+func WANEdgeDumbbell() DumbbellConfig { return topo.WANEdgeDumbbell() }
 
 // NewHPCC returns a default-parameter HPCC instance (one per flow).
 func NewHPCC() Algorithm { return hpcc.New(hpcc.DefaultConfig()) }
@@ -287,6 +320,19 @@ func DefaultExperimentConfig() ExperimentConfig { return exp.DefaultConfig() }
 
 // Jain computes the Jain fairness index of an allocation.
 func Jain(xs []float64) float64 { return stats.Jain(xs) }
+
+// JainByClass computes one Jain index per class of an allocation;
+// class[i] assigns xs[i] to a class in [0, nClasses).
+func JainByClass(xs []float64, class []int, nClasses int) []float64 {
+	return stats.JainByClass(xs, class, nClasses)
+}
+
+// NewClassCollector returns a streaming per-class FCT collector; classOf
+// maps a finished flow to a label index (or -1 to skip), maxExact bounds
+// exact retention per distribution (0 = the default).
+func NewClassCollector(labels []string, classOf func(*Flow) int, maxExact int) *ClassCollector {
+	return metrics.NewClassCollector(labels, classOf, maxExact)
+}
 
 // DefaultFluid returns the Fig. 4 fluid-model parameters.
 func DefaultFluid() FluidConfig { return fluid.DefaultConfig() }

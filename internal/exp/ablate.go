@@ -121,6 +121,7 @@ func runNewFlowAblation(cfg Config) (*Result, error) {
 		}
 		jain := metrics.SampleJain(nw, v.label, 2*sim.Microsecond, 0, horizon)
 		runSim(cfg, v.label, eng, nw)
+		cfg.notePeakFCT(len(rec.Records))
 		out := &incastOut{label: v.label, allFinished: nw.AllFinished()}
 		for _, p := range jain.Points {
 			out.jain.Add(p.T.Microseconds(), p.V)

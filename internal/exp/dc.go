@@ -88,7 +88,9 @@ func runDC(cfg Config, v variant, ftCfg topo.FatTreeConfig, specs []net.FlowSpec
 	if err := nw.CheckConservation(); err != nil {
 		return nil, fmt.Errorf("%s: %w", v.label, err)
 	}
-	return metrics.CollectFinished(nw), nil
+	records := metrics.CollectFinished(nw)
+	cfg.notePeakFCT(len(records))
+	return records, nil
 }
 
 // dcMinBDP probes the fat-tree's minimum BDP (the shortest, same-ToR

@@ -56,6 +56,13 @@ type Config struct {
 	DropDataProb float64
 	DropAckProb  float64
 
+	// RTT-heterogeneity knobs for the rtt-unfairness experiments (zero =
+	// each scenario's preset; other experiments ignore them).
+	// RTTSlowDelay overrides the slow group's access-link propagation
+	// delay; RTTSenders overrides the per-group sender count.
+	RTTSlowDelay sim.Time
+	RTTSenders   int
+
 	// obs accumulates RunStats across the experiment's simulations; set by
 	// RunWithStats.
 	obs *runObserver

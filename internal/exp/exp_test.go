@@ -15,6 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 		"ablate-aicap", "ablate-sf", "ablate-dampener", "ablate-newflow",
 		"incast-dcqcn", "incast-pfc", "incast-lossy", "incast-pfc-vs-lossy",
+		"rtt-unfairness", "rtt-unfairness-wan",
 	}
 	names := Names()
 	have := map[string]bool{}

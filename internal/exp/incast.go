@@ -31,6 +31,7 @@ type incastOut struct {
 	lastFinish  sim.Time
 	stats       net.NetworkStats
 	allFinished bool
+	records     []metrics.FlowRecord // per-flow completions (finish order)
 	err         error
 }
 
@@ -114,6 +115,8 @@ func runIncast(cfg Config, v variant, senders int, setup func(*net.Network, *top
 	}
 	out.queue.Label = v.label
 	out.startFinish.Label = v.label
+	out.records = rec.Records
+	cfg.notePeakFCT(len(rec.Records))
 	for _, p := range metrics.StartFinish(rec.Records) {
 		out.startFinish.Add(p.T.Microseconds(), p.V)
 	}

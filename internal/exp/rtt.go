@@ -1,0 +1,259 @@
+package exp
+
+import (
+	"fmt"
+
+	"faircc/internal/metrics"
+	"faircc/internal/net"
+	"faircc/internal/par"
+	"faircc/internal/sim"
+	"faircc/internal/topo"
+)
+
+// The rtt-unfairness experiment family: fast-group and slow-group senders
+// sharing one dumbbell bottleneck, the scenario the paper never evaluates
+// (its fat-tree has uniform 1 us hops, so every flow sees the same base
+// RTT). FaiRTT (arXiv:2403.19973) and the NS-3 BBR fairness study
+// (arXiv:2410.22560) show RTT heterogeneity is where convergence-to-
+// fairness claims go to die: AIMD-style control gives short-RTT flows
+// more increase opportunities per second, so the fast class squeezes the
+// slow class. Each variant reports the Jain index over time — aggregate
+// and per RTT class — plus per-class FCT percentiles, with and without
+// VAI/SF, so the mechanisms' fast-convergence claim is tested where
+// classes differ, not just within one.
+
+// rttSetup is one scale's scenario: the dumbbell, the per-sender flow
+// schedule, and the goodput-sampling interval.
+type rttSetup struct {
+	dc       topo.DumbbellConfig
+	flowSize int64
+	rounds   int      // flows per sender
+	gap      sim.Time // stagger between a sender's consecutive flows
+}
+
+// rttScale maps Config.Scale to a datacenter-heterogeneity scenario.
+func rttScale(cfg Config) (rttSetup, error) {
+	s := rttSetup{dc: topo.DefaultDumbbell()}
+	switch cfg.Scale {
+	case "small":
+		s.flowSize, s.rounds, s.gap = 100_000, 2, 50*sim.Microsecond
+	case "", "medium":
+		s.flowSize, s.rounds, s.gap = 1_000_000, 4, 200*sim.Microsecond
+	case "large", "full":
+		s.flowSize, s.rounds, s.gap = 4_000_000, 8, 500*sim.Microsecond
+	default:
+		return s, fmt.Errorf("exp: unknown scale %q", cfg.Scale)
+	}
+	return s, applyRTTKnobs(cfg, &s)
+}
+
+// rttScaleWAN maps Config.Scale to the WAN-edge scenario: the slow group
+// reaches the shared 10 Gb/s bottleneck across a 10 ms access link, so
+// its base RTT (~20 ms) puts 4*baseRTT past RTOMax — the regime of the
+// initial-RTO clamp fix.
+func rttScaleWAN(cfg Config) (rttSetup, error) {
+	s := rttSetup{dc: topo.WANEdgeDumbbell()}
+	switch cfg.Scale {
+	case "small":
+		s.flowSize, s.rounds, s.gap = 250_000, 1, 0
+	case "", "medium":
+		s.flowSize, s.rounds, s.gap = 1_000_000, 2, 5*sim.Millisecond
+	case "large", "full":
+		s.flowSize, s.rounds, s.gap = 2_000_000, 4, 5*sim.Millisecond
+	default:
+		return s, fmt.Errorf("exp: unknown scale %q", cfg.Scale)
+	}
+	return s, applyRTTKnobs(cfg, &s)
+}
+
+// applyRTTKnobs folds Config's RTT-heterogeneity overrides into a setup.
+func applyRTTKnobs(cfg Config, s *rttSetup) error {
+	if cfg.RTTSlowDelay > 0 {
+		last := len(s.dc.Groups) - 1
+		s.dc.Groups[last].AccessDelay = cfg.RTTSlowDelay
+	}
+	if cfg.RTTSenders > 0 {
+		for i := range s.dc.Groups {
+			s.dc.Groups[i].Count = cfg.RTTSenders
+		}
+	}
+	return s.dc.Validate()
+}
+
+// rttParams sizes the protocol variants from the fast-class path — the
+// network's minimum BDP, which is the paper's VAI token threshold (dcMinBDP
+// makes the same shortest-path choice on the fat-tree).
+func rttParams(dc topo.DumbbellConfig) pathParams {
+	nw := net.New(sim.NewEngine(), 0)
+	d := topo.NewDumbbell(nw, dc)
+	_, baseRTT, minBw, err := nw.ProbePath(net.FlowSpec{
+		ID: 1, Src: d.Senders[0].NodeID(), Dst: d.Receivers[0].NodeID(), Size: 1})
+	if err != nil {
+		panic(err) // the dumbbell we just built is always probeable
+	}
+	return starParams(0.8*minBw/8*baseRTT.Seconds(), minBw)
+}
+
+// rttOut is one variant's measurements.
+type rttOut struct {
+	jain    *metrics.JainClassSeries
+	classes []metrics.ClassDist
+	peak    int
+}
+
+// runRTT runs one dumbbell scenario under one protocol variant. It always
+// uses the sequential engine: the per-class goodput sampler reads
+// receiver-side delivery marks every tick, which on a sharded network
+// would race with the receiver shard (the same reason the incast figures
+// are sequential; Dumbbell.ShardMap exists for record-only workloads).
+// FCT statistics stream through a ClassCollector — per-flow records are
+// folded into bounded per-class accumulators as flows finish, never
+// retained — exercising the streaming-metrics path end to end.
+func runRTT(cfg Config, v variant, s rttSetup) (*rttOut, error) {
+	eng := sim.NewEngine()
+	nw := net.New(eng, cfg.Seed)
+	d := topo.NewDumbbell(nw, s.dc)
+
+	// Host node id -> RTT class, for classing flows by their sender.
+	classOfHost := make(map[int]int, len(d.Senders))
+	for i, h := range d.Senders {
+		classOfHost[h.NodeID()] = d.Class[i]
+	}
+	classOf := func(f *net.Flow) int { return classOfHost[f.Spec.Src] }
+	labels := make([]string, len(s.dc.Groups))
+	for i, g := range s.dc.Groups {
+		labels[i] = g.Name
+	}
+
+	col := metrics.NewClassCollector(labels, classOf, 0)
+	col.Attach(nw)
+
+	id := 0
+	for r := 0; r < s.rounds; r++ {
+		for i, snd := range d.Senders {
+			id++
+			nw.AddFlow(net.FlowSpec{
+				ID:    id,
+				Src:   snd.NodeID(),
+				Dst:   d.Receivers[i].NodeID(),
+				Size:  s.flowSize,
+				Start: sim.Time(r) * s.gap,
+			}, v.make())
+		}
+	}
+
+	// Goodput sampling interval: a fair bottleneck share should deliver
+	// ~10 packets per interval (the incast figures' rule), and at least
+	// one slow-class RTT so the long-delay class is not quantized to its
+	// burst arrivals.
+	rtts := d.ClassBaseRTT(nw)
+	slowRTT := rtts[len(rtts)-1]
+	every := sim.Time(float64(len(d.Senders)) * float64(nw.MTU+nw.HeaderBytes) * 8 * 10 /
+		s.dc.BottleneckBps * 1e12)
+	if every < slowRTT {
+		every = slowRTT
+	}
+	if every < 5*sim.Microsecond {
+		every = 5 * sim.Microsecond
+	}
+	jain := metrics.SampleJainClasses(nw, labels, classOf, every, 0, horizon)
+
+	runSim(cfg, v.label, eng, nw)
+	if !nw.AllFinished() {
+		return nil, fmt.Errorf("%s: flows did not finish", v.label)
+	}
+	if err := nw.CheckConservation(); err != nil {
+		return nil, fmt.Errorf("%s: %w", v.label, err)
+	}
+	cfg.notePeakFCT(col.PeakRetained())
+	return &rttOut{jain: jain, classes: col.Classes(), peak: col.PeakRetained()}, nil
+}
+
+// meanTail averages the last half of a series (steady-state fairness).
+func meanTail(s *metrics.Series) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	tail := s.Points[len(s.Points)/2:]
+	for _, p := range tail {
+		sum += p.V
+	}
+	return sum / float64(len(tail))
+}
+
+// rttFigure assembles an RTT-unfairness experiment over the given
+// scenario builder: per-variant aggregate and per-class Jain curves, with
+// per-class FCT percentiles in the notes.
+func rttFigure(name, title string, scale func(Config) (rttSetup, error)) *Experiment {
+	return &Experiment{
+		Name:  name,
+		Title: title,
+		Run: func(cfg Config) (*Result, error) {
+			s, err := scale(cfg)
+			if err != nil {
+				return nil, err
+			}
+			p := rttParams(s.dc)
+			vs := dcVariants(p)
+
+			outs, err := par.MapErr(len(vs), cfg.Workers, func(i int) (*rttOut, error) {
+				return runRTT(cfg, vs[i], s)
+			})
+			if err != nil {
+				return nil, err
+			}
+
+			res := &Result{Name: name, Title: title,
+				XLabel: "time (us)", YLabel: "Jain fairness index"}
+			nw := net.New(sim.NewEngine(), 0)
+			rtts := topo.NewDumbbell(nw, s.dc).ClassBaseRTT(nw)
+			for i, g := range s.dc.Groups {
+				res.Notef("class %s: %d senders, access %v, base RTT %v",
+					g.Name, g.Count, g.AccessDelay, rtts[i])
+			}
+			res.Notef("scale=%s flows/sender=%d size=%d bottleneck=%.0fGbps",
+				cfg.Scale, s.rounds, s.flowSize, s.dc.BottleneckBps/1e9)
+
+			for i, out := range outs {
+				v := vs[i]
+				all := Series{Label: v.label}
+				for _, pt := range out.jain.All.Points {
+					all.Add(pt.T.Microseconds(), pt.V)
+				}
+				res.Series = append(res.Series, all)
+				for _, cs := range out.jain.ByClass {
+					sc := Series{Label: v.label + " " + cs.Label}
+					for _, pt := range cs.Points {
+						sc.Add(pt.T.Microseconds(), pt.V)
+					}
+					res.Series = append(res.Series, sc)
+				}
+				res.Notef("%s: steady-state Jain all=%.3f %s=%.3f %s=%.3f",
+					v.label, meanTail(out.jain.All),
+					out.jain.ByClass[0].Label, meanTail(out.jain.ByClass[0]),
+					out.jain.ByClass[1].Label, meanTail(out.jain.ByClass[1]))
+				for _, cd := range out.classes {
+					if cd.Flows == 0 {
+						continue
+					}
+					res.Notef("%s %s: %d flows, FCT p50=%.1fus p99=%.1fus, slowdown p50=%.2fx p99=%.2fx",
+						v.label, cd.Label, cd.Flows,
+						cd.FCTUsec.Percentile(50), cd.FCTUsec.Percentile(99),
+						cd.Slowdown.Percentile(50), cd.Slowdown.Percentile(99))
+				}
+				res.Notef("%s: peak retained FCT samples %d", v.label, out.peak)
+			}
+			return res, nil
+		},
+	}
+}
+
+func init() {
+	register(rttFigure("rtt-unfairness",
+		"Fairness across RTT classes: fast vs slow senders on one bottleneck",
+		rttScale))
+	register(rttFigure("rtt-unfairness-wan",
+		"Fairness across RTT classes at a WAN edge (10 ms access, 10 Gb/s bottleneck)",
+		rttScaleWAN))
+}

@@ -64,6 +64,15 @@ type RunStats struct {
 	ShardEvents []uint64 `json:"shard_events,omitempty"`
 	Epochs      uint64   `json:"epochs,omitempty"`
 
+	// PeakFCTRecords is the high-water count of retained per-flow FCT
+	// samples across the experiment's runs (max over runs): len(records)
+	// on the classic collect-at-end path, ClassCollector.PeakRetained on
+	// the streaming path. It is the memory gauge the CI bench gate tracks
+	// — the streaming refactor's bounded-retention claim rots silently if
+	// this grows with flow count again. Omitted when no collector reported
+	// (e.g. the fluid model), keeping those manifests' key sets unchanged.
+	PeakFCTRecords int `json:"peak_fct_records,omitempty"`
+
 	// Wall-clock figures, filled in by Finish.
 	WallSeconds  float64 `json:"wall_seconds"`
 	EventsPerSec float64 `json:"events_per_sec"`
@@ -164,6 +173,9 @@ func (s *RunStats) Add(o RunStats) {
 	s.RTOFires += o.RTOFires
 	s.DupAcks += o.DupAcks
 	s.DataOutOfSeq += o.DataOutOfSeq
+	if o.PeakFCTRecords > s.PeakFCTRecords {
+		s.PeakFCTRecords = o.PeakFCTRecords
+	}
 	if o.Shards > s.Shards {
 		s.Shards = o.Shards
 	}

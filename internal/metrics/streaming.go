@@ -1,0 +1,315 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"faircc/internal/net"
+	"faircc/internal/sim"
+	"faircc/internal/stats"
+)
+
+// DefaultMaxExact is the per-accumulator retained-sample cap when
+// Accumulator.MaxExact is zero. Below it the streamed percentile path is
+// bit-for-bit identical to the retained-slice path; above it the
+// accumulator folds into a bounded log-spaced histogram. Every experiment
+// in the repository today finishes fewer flows than this per class, so
+// the approximation only ever engages at scales where retaining records
+// is what the streaming layer exists to avoid (a fig10-full run peaked
+// around 6.4 GB of retained per-flow state).
+const DefaultMaxExact = 1 << 16
+
+// histBuckets is the log-spaced bucket count of an overflowed
+// accumulator: 64 buckets per decade over 12 decades (1e-6 .. 1e6 around
+// histRefScale) — resolution ~3.7% per bucket, a few KB of memory.
+const (
+	histBuckets    = 768
+	histDecades    = 12
+	histMinExp     = -6.0
+	perDecadeCount = histBuckets / histDecades
+)
+
+// Accumulator is a streaming distribution: values are added one at a time
+// and only a bounded amount of state is retained. Up to MaxExact values
+// it keeps the exact sample, so Percentile matches stats.Percentile on
+// the retained slice bit-for-bit; past the cap it folds everything into a
+// fixed log-spaced histogram and Percentile interpolates within buckets.
+// Count, Sum, Min and Max stay exact in both regimes. The zero value is
+// ready to use. Accumulator is not goroutine-safe; ClassCollector adds
+// the locking that sharded runs need.
+type Accumulator struct {
+	// MaxExact caps the retained sample (0 means DefaultMaxExact).
+	MaxExact int
+
+	count    int64
+	sum      float64
+	min, max float64
+	exact    []float64
+	hist     []int64 // nil until the exact cap overflows
+}
+
+// Add folds one value into the accumulator.
+func (a *Accumulator) Add(v float64) {
+	if a.count == 0 || v < a.min {
+		a.min = v
+	}
+	if a.count == 0 || v > a.max {
+		a.max = v
+	}
+	a.count++
+	a.sum += v
+	if a.hist == nil {
+		limit := a.MaxExact
+		if limit == 0 {
+			limit = DefaultMaxExact
+		}
+		if len(a.exact) < limit {
+			a.exact = append(a.exact, v)
+			return
+		}
+		// Overflow: fold the exact sample into the histogram and drop it.
+		a.hist = make([]int64, histBuckets)
+		for _, x := range a.exact {
+			a.hist[histBucket(x)]++
+		}
+		a.exact = nil
+	}
+	a.hist[histBucket(v)]++
+}
+
+// histBucket maps a value to its log-spaced bucket.
+func histBucket(v float64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := int((math.Log10(v) - histMinExp) * perDecadeCount)
+	if b < 0 {
+		return 0
+	}
+	if b >= histBuckets {
+		return histBuckets - 1
+	}
+	return b
+}
+
+// histBucketLo returns the lower edge of bucket b.
+func histBucketLo(b int) float64 {
+	return math.Pow(10, histMinExp+float64(b)/perDecadeCount)
+}
+
+// Count returns the number of values added.
+func (a *Accumulator) Count() int64 { return a.count }
+
+// Sum returns the exact running sum.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the exact mean (0 for an empty accumulator).
+func (a *Accumulator) Mean() float64 {
+	if a.count == 0 {
+		return 0
+	}
+	return a.sum / float64(a.count)
+}
+
+// Min and Max return the exact extremes (0 for an empty accumulator).
+func (a *Accumulator) Min() float64 { return a.min }
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Retained returns how many exact samples the accumulator currently
+// holds — the quantity the streaming layer bounds.
+func (a *Accumulator) Retained() int { return len(a.exact) }
+
+// Exact reports whether Percentile is still on the bit-for-bit path.
+func (a *Accumulator) Exact() bool { return a.hist == nil }
+
+// Percentile returns the p-th percentile. On the exact path it delegates
+// to stats.Percentile over the retained sample — bit-for-bit what the
+// retained-slice pipeline computes. On the histogram path it
+// linearly interpolates within the covering bucket, clamped to the exact
+// [Min, Max]. It panics on an empty accumulator, like stats.Percentile.
+func (a *Accumulator) Percentile(p float64) float64 {
+	if a.hist == nil {
+		return stats.Percentile(a.exact, p)
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %v out of [0,100]", p))
+	}
+	// Rank in [0, count-1], matching the order-statistic convention of
+	// stats.Percentile.
+	rank := p / 100 * float64(a.count-1)
+	var seen int64
+	for b, c := range a.hist {
+		if c == 0 {
+			continue
+		}
+		if float64(seen+c) > rank {
+			// Interpolate the rank within this bucket's value range.
+			lo, hi := histBucketLo(b), histBucketLo(b+1)
+			frac := (rank - float64(seen)) / float64(c)
+			v := lo + frac*(hi-lo)
+			if v < a.min {
+				v = a.min
+			}
+			if v > a.max {
+				v = a.max
+			}
+			return v
+		}
+		seen += c
+	}
+	return a.max
+}
+
+// ClassDist is one RTT class's streamed completion statistics.
+type ClassDist struct {
+	Label    string
+	Flows    int64
+	Bytes    int64
+	FCTUsec  Accumulator // flow completion times, microseconds
+	Slowdown Accumulator // FCT / ideal FCT
+}
+
+// ClassCollector folds finished flows into bounded per-class accumulators
+// as they finish, instead of retaining per-flow records until the end of
+// the run — the streaming-metrics contract: memory is O(classes x
+// MaxExact) however many flows the run completes. It is safe on sharded
+// networks (finish callbacks fire on worker goroutines; every fold takes
+// the collector's mutex).
+type ClassCollector struct {
+	mu      sync.Mutex
+	classOf func(*net.Flow) int
+	classes []ClassDist
+	peak    int
+}
+
+// NewClassCollector builds a collector with one ClassDist per label;
+// classOf maps a finishing flow to its class index. maxExact caps each
+// accumulator's retained sample (0 means DefaultMaxExact).
+func NewClassCollector(labels []string, classOf func(*net.Flow) int, maxExact int) *ClassCollector {
+	c := &ClassCollector{classOf: classOf, classes: make([]ClassDist, len(labels))}
+	for i, l := range labels {
+		c.classes[i].Label = l
+		c.classes[i].FCTUsec.MaxExact = maxExact
+		c.classes[i].Slowdown.MaxExact = maxExact
+	}
+	return c
+}
+
+// Attach registers the collector on the network, chaining any existing
+// OnFlowFinish callback.
+func (c *ClassCollector) Attach(nw *net.Network) {
+	prev := nw.OnFlowFinish
+	nw.OnFlowFinish = func(f *net.Flow) {
+		if prev != nil {
+			prev(f)
+		}
+		c.Fold(f)
+	}
+}
+
+// Fold accumulates one finished flow.
+func (c *ClassCollector) Fold(f *net.Flow) {
+	cl := c.classOf(f)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cl < 0 || cl >= len(c.classes) {
+		panic(fmt.Sprintf("metrics: flow %d classed %d, want [0,%d)",
+			f.Spec.ID, cl, len(c.classes)))
+	}
+	d := &c.classes[cl]
+	d.Flows++
+	d.Bytes += f.Spec.Size
+	d.FCTUsec.Add(f.FCT().Microseconds())
+	d.Slowdown.Add(f.Slowdown())
+	if r := c.retainedLocked(); r > c.peak {
+		c.peak = r
+	}
+}
+
+func (c *ClassCollector) retainedLocked() int {
+	n := 0
+	for i := range c.classes {
+		n += c.classes[i].FCTUsec.Retained() + c.classes[i].Slowdown.Retained()
+	}
+	return n
+}
+
+// Classes returns the per-class distributions. Call only after the run —
+// it copies under the lock so callers never race with late folds.
+func (c *ClassCollector) Classes() []ClassDist {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ClassDist, len(c.classes))
+	copy(out, c.classes)
+	return out
+}
+
+// PeakRetained returns the high-water count of exact samples held across
+// all accumulators — the gauge the CI bench gate tracks so the streaming
+// layer's bounded-memory claim cannot silently rot.
+func (c *ClassCollector) PeakRetained() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.peak
+}
+
+// JainClassSeries is SampleJainClasses' result: the aggregate fairness
+// series over all active flows plus one series per class.
+type JainClassSeries struct {
+	All     *Series
+	ByClass []*Series
+}
+
+// SampleJainClasses periodically computes Jain fairness of active flows'
+// goodput, both aggregate and within each class, from start until until.
+// It must be the only goodput sampler on the network: the per-interval
+// deltas come from Flow.TakeDeliveredDelta, which consumes the mark, so
+// a second concurrent sampler would see half-intervals. That is why the
+// per-class and aggregate indices come from one tick chain rather than
+// one SampleJain per class. Aggregate samples are recorded while at least
+// two flows are active (SampleJain's convention); a class's series gains
+// a point only when that class has at least two active flows.
+func SampleJainClasses(nw *net.Network, labels []string, classOf func(*net.Flow) int,
+	every, start, until sim.Time) *JainClassSeries {
+	out := &JainClassSeries{All: &Series{Label: "all"}}
+	for _, l := range labels {
+		out.ByClass = append(out.ByClass, &Series{Label: l})
+	}
+	n := len(labels)
+	rates := make([]float64, 0, 64)
+	classes := make([]int, 0, 64)
+	counts := make([]int, n)
+	var tick func()
+	tick = func() {
+		now := nw.Eng.Now()
+		rates, classes = rates[:0], classes[:0]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, f := range nw.Flows() {
+			if f.Active() {
+				rates = append(rates, float64(f.TakeDeliveredDelta()))
+				cl := classOf(f)
+				classes = append(classes, cl)
+				counts[cl]++
+			} else if f.Started() {
+				f.TakeDeliveredDelta() // keep marks current across finishes
+			}
+		}
+		if len(rates) >= 2 {
+			out.All.Points = append(out.All.Points, Point{T: now, V: stats.Jain(rates)})
+			byClass := stats.JainByClass(rates, classes, n)
+			for c, s := range out.ByClass {
+				if counts[c] >= 2 {
+					s.Points = append(s.Points, Point{T: now, V: byClass[c]})
+				}
+			}
+		}
+		if now+every <= until {
+			nw.Eng.After(every, tick)
+		}
+	}
+	nw.Eng.At(start, tick)
+	return out
+}

@@ -54,8 +54,8 @@ type Network struct {
 	// with earlier versions.
 	LossRecovery bool
 	// RTOMin / RTOMax bound the retransmission timeout. A flow's initial
-	// RTO is max(RTOMin, 4*baseRTT); backoff doubles it up to RTOMax.
-	// New fills in defaults (100µs / 10ms).
+	// RTO is 4*baseRTT clamped into [RTOMin, RTOMax]; backoff doubles it
+	// up to RTOMax. New fills in defaults (100µs / 10ms).
 	RTOMin sim.Time
 	RTOMax sim.Time
 
@@ -253,6 +253,13 @@ func (n *Network) AddFlow(spec FlowSpec, algo cc.Algorithm) *Flow {
 	f.rtoBase = 4 * f.baseRTT
 	if f.rtoBase < n.RTOMin {
 		f.rtoBase = n.RTOMin
+	}
+	if n.RTOMax > 0 && f.rtoBase > n.RTOMax {
+		// On long-delay paths (a 10 ms WAN-edge hop makes 4*baseRTT ~80 ms)
+		// the initial timeout must respect the same ceiling the backoff
+		// doubling does, or first-loss recovery waits 8x longer than any
+		// later one.
+		f.rtoBase = n.RTOMax
 	}
 	f.rto = f.rtoBase
 	n.flows = append(n.flows, f)

@@ -26,6 +26,42 @@ func Jain(xs []float64) float64 {
 	return sum * sum / (float64(len(xs)) * sumSq)
 }
 
+// JainByClass computes the Jain index within each class of the allocation
+// xs, where class[i] names xs[i]'s class (0 <= class[i] < nClasses).
+// Result[c] follows Jain's conventions restricted to class c: a singleton
+// class is perfectly fair (its only member equals itself) and an empty or
+// all-zero class reports 1. Values and classes must be the same length.
+// RTT-heterogeneity experiments use this to tell intra-class fairness
+// (flows with equal base RTT sharing equally) from the cross-class
+// unfairness the aggregate index mixes in.
+func JainByClass(xs []float64, class []int, nClasses int) []float64 {
+	if len(xs) != len(class) {
+		panic(fmt.Sprintf("stats: JainByClass length mismatch: %d values, %d classes",
+			len(xs), len(class)))
+	}
+	sum := make([]float64, nClasses)
+	sumSq := make([]float64, nClasses)
+	n := make([]int, nClasses)
+	for i, x := range xs {
+		c := class[i]
+		if c < 0 || c >= nClasses {
+			panic(fmt.Sprintf("stats: JainByClass class %d out of [0,%d)", c, nClasses))
+		}
+		sum[c] += x
+		sumSq[c] += x * x
+		n[c]++
+	}
+	out := make([]float64, nClasses)
+	for c := range out {
+		if sumSq[c] == 0 {
+			out[c] = 1
+			continue
+		}
+		out[c] = sum[c] * sum[c] / (float64(n[c]) * sumSq[c])
+	}
+	return out
+}
+
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
 // linear interpolation between order statistics. It does not modify xs and
 // panics on an empty slice or out-of-range p, which are programming

@@ -204,3 +204,74 @@ func TestCDFSampleBelowFirstKnot(t *testing.T) {
 		t.Fatalf("Max = %v, want 200", got)
 	}
 }
+
+func TestJainByClass(t *testing.T) {
+	xs := []float64{10, 10, 2, 1, 5}
+	class := []int{0, 0, 1, 1, 2}
+	got := JainByClass(xs, class, 4)
+	want := []float64{
+		1,        // equal pair
+		9.0 / 10, // (3)^2 / (2*5)
+		1,        // singleton: fair by convention
+		1,        // empty class: vacuous, matches Jain(nil)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("classes = %d, want %d", len(got), len(want))
+	}
+	for c := range want {
+		if math.Abs(got[c]-want[c]) > 1e-12 {
+			t.Errorf("class %d: %v, want %v", c, got[c], want[c])
+		}
+	}
+}
+
+func TestJainByClassMatchesJainPerClass(t *testing.T) {
+	// Each class's index must equal Jain restricted to that class's
+	// members — the definition JainByClass is a single-pass version of.
+	r := rand.New(rand.NewSource(42))
+	const nClasses = 3
+	xs := make([]float64, 50)
+	class := make([]int, 50)
+	byClass := make([][]float64, nClasses)
+	for i := range xs {
+		xs[i] = r.Float64() * 100
+		class[i] = r.Intn(nClasses)
+		byClass[class[i]] = append(byClass[class[i]], xs[i])
+	}
+	got := JainByClass(xs, class, nClasses)
+	for c := 0; c < nClasses; c++ {
+		if want := Jain(byClass[c]); math.Abs(got[c]-want) > 1e-12 {
+			t.Errorf("class %d: %v, want Jain(%d members) = %v",
+				c, got[c], len(byClass[c]), want)
+		}
+	}
+}
+
+func TestJainByClassPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("length mismatch", func() {
+		JainByClass([]float64{1, 2}, []int{0}, 1)
+	})
+	mustPanic("class out of range", func() {
+		JainByClass([]float64{1}, []int{1}, 1)
+	})
+	mustPanic("negative class", func() {
+		JainByClass([]float64{1}, []int{-1}, 1)
+	})
+}
+
+func TestJainByClassAllZeroClass(t *testing.T) {
+	// A class whose members are all zero (e.g. an RTT class whose flows
+	// delivered nothing in the sample window) reports 1, like Jain.
+	got := JainByClass([]float64{0, 0, 5, 5}, []int{0, 0, 1, 1}, 2)
+	if got[0] != 1 || got[1] != 1 {
+		t.Fatalf("got %v, want [1 1]", got)
+	}
+}

@@ -1,0 +1,173 @@
+package topo
+
+import (
+	"testing"
+
+	"faircc/internal/net"
+	"faircc/internal/sim"
+)
+
+func TestDumbbellShape(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := net.New(eng, 1)
+	cfg := DefaultDumbbell()
+	d := NewDumbbell(nw, cfg)
+	if got := len(d.Senders); got != cfg.NumSenders() {
+		t.Fatalf("senders = %d, want %d", got, cfg.NumSenders())
+	}
+	if len(d.Receivers) != len(d.Senders) || len(d.Class) != len(d.Senders) {
+		t.Fatalf("receivers=%d classes=%d, want %d of each",
+			len(d.Receivers), len(d.Class), len(d.Senders))
+	}
+	// Class runs group-major: the first group's Count senders are class 0.
+	want := 0
+	idx := 0
+	for gi, g := range cfg.Groups {
+		for i := 0; i < g.Count; i++ {
+			if d.Class[idx] != gi {
+				t.Fatalf("Class[%d] = %d, want %d", idx, d.Class[idx], gi)
+			}
+			idx++
+		}
+		want += g.Count
+	}
+	// Bottleneck port belongs to the left switch and peers with the right.
+	if d.BottleneckPort.Owner().NodeID() != d.Left.NodeID() {
+		t.Fatal("BottleneckPort not owned by the left switch")
+	}
+	if d.BottleneckPort.Peer().Owner().NodeID() != d.Right.NodeID() {
+		t.Fatal("BottleneckPort does not peer with the right switch")
+	}
+}
+
+func TestDumbbellHopsAndClassBaseRTT(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := net.New(eng, 1)
+	cfg := DefaultDumbbell()
+	d := NewDumbbell(nw, cfg)
+
+	// Every sender->receiver path crosses exactly the two switches.
+	for i, s := range d.Senders {
+		hops, _, _, err := nw.ProbePath(net.FlowSpec{
+			ID: i + 1, Src: s.NodeID(), Dst: d.Receivers[i].NodeID(), Size: 1})
+		if err != nil {
+			t.Fatalf("sender %d: %v", i, err)
+		}
+		if hops != 2 {
+			t.Fatalf("sender %d: hops = %d, want 2", i, hops)
+		}
+	}
+
+	rtts := d.ClassBaseRTT(nw)
+	if len(rtts) != 2 {
+		t.Fatalf("classes = %d, want 2", len(rtts))
+	}
+	fast, slow := rtts[0], rtts[1]
+	if fast >= slow {
+		t.Fatalf("fast RTT %v not below slow RTT %v", fast, slow)
+	}
+	// One-way propagation: fast 3 us, slow 27 us; round trip doubles it and
+	// serialization adds a little. The heterogeneity the class split is
+	// meant to model must actually be there: slow/fast well above 5x.
+	if fast < 6*sim.Microsecond || fast > 7*sim.Microsecond {
+		t.Fatalf("fast class base RTT = %v, want 6-7 us", fast)
+	}
+	if slow < 54*sim.Microsecond || slow > 55*sim.Microsecond {
+		t.Fatalf("slow class base RTT = %v, want 54-55 us", slow)
+	}
+}
+
+func TestWANEdgeDumbbellRTT(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := net.New(eng, 1)
+	d := NewDumbbell(nw, WANEdgeDumbbell())
+	rtts := d.ClassBaseRTT(nw)
+	// The slow class crosses a 10 ms access link: base RTT just above
+	// 20 ms, i.e. 4*baseRTT ~80 ms — past RTOMax (10 ms), the regime the
+	// initial-RTO clamp exists for.
+	if rtts[1] < 20*sim.Millisecond || rtts[1] > 21*sim.Millisecond {
+		t.Fatalf("WAN slow class base RTT = %v, want ~20 ms", rtts[1])
+	}
+	if rtts[0] > 100*sim.Microsecond {
+		t.Fatalf("WAN fast class base RTT = %v, want well under 100 us", rtts[0])
+	}
+}
+
+func TestDumbbellTrafficDelivers(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := net.New(eng, 3)
+	d := NewDumbbell(nw, DefaultDumbbell())
+	for i, s := range d.Senders {
+		nw.AddFlow(net.FlowSpec{ID: i + 1, Src: s.NodeID(),
+			Dst: d.Receivers[i].NodeID(), Size: 100_000,
+			Start: sim.Time(i) * sim.Microsecond}, lineRateAlgo())
+	}
+	eng.Run()
+	if !nw.AllFinished() {
+		t.Fatal("not all flows finished")
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumbbellShardMap(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := net.New(eng, 3)
+	d := NewDumbbell(nw, DefaultDumbbell())
+	assign, k := d.ShardMap(2)
+	if k != 2 {
+		t.Fatalf("shards = %d, want 2", k)
+	}
+	for i, s := range d.Senders {
+		if assign[s.NodeID()] != 0 {
+			t.Fatalf("sender %d on shard %d, want 0", i, assign[s.NodeID()])
+		}
+	}
+	for i, r := range d.Receivers {
+		if assign[r.NodeID()] != 1 {
+			t.Fatalf("receiver %d on shard %d, want 1", i, assign[r.NodeID()])
+		}
+	}
+	// Sharded execution across the bottleneck link still delivers.
+	nw.Shard(assign, k)
+	for i, s := range d.Senders {
+		nw.AddFlow(net.FlowSpec{ID: i + 1, Src: s.NodeID(),
+			Dst: d.Receivers[i].NodeID(), Size: 50_000}, lineRateAlgo())
+	}
+	if err := nw.NewParallel().Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.AllFinished() {
+		t.Fatal("sharded dumbbell run did not finish all flows")
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumbbellValidate(t *testing.T) {
+	if err := (DumbbellConfig{}).Validate(); err == nil {
+		t.Fatal("empty config must not validate")
+	}
+	bad := DefaultDumbbell()
+	bad.Groups[0].Count = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero-count group must not validate")
+	}
+	bad = DefaultDumbbell()
+	bad.Groups[1].AccessDelay = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero access delay must not validate")
+	}
+	bad = DefaultDumbbell()
+	bad.BottleneckBps = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero bottleneck rate must not validate")
+	}
+	for _, cfg := range []DumbbellConfig{DefaultDumbbell(), WANEdgeDumbbell()} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset invalid: %v", err)
+		}
+	}
+}

@@ -48,7 +48,12 @@ type FatTreeConfig struct {
 	HostsPerToR int
 	HostBps     float64
 	FabricBps   float64
-	LinkDelay   sim.Time
+	// ToRUplinkBps, when positive, overrides FabricBps on the ToR<->Agg
+	// links only — the knob that makes the tree oversubscribed at the ToR
+	// layer (the one place real Clos fabrics economize). Zero keeps the
+	// paper's 1:1 fabric.
+	ToRUplinkBps float64
+	LinkDelay    sim.Time
 }
 
 // DefaultFatTree returns the paper's datacenter topology parameters.
@@ -79,15 +84,64 @@ func (c FatTreeConfig) Scaled(pods, torsPerPod, hostsPerToR int) FatTreeConfig {
 // Validate reports configuration errors.
 func (c FatTreeConfig) Validate() error {
 	switch {
-	case c.Pods < 1 || c.ToRsPerPod < 1 || c.AggsPerPod < 1 || c.HostsPerToR < 1:
+	case c.Pods < 1 || c.ToRsPerPod < 1 || c.AggsPerPod < 1 || c.HostsPerToR < 1 || c.Spines < 1:
+		// Spines must be checked here explicitly: 0 % AggsPerPod == 0, so
+		// the multiple-of check below would wave a spineless tree through
+		// and cross-pod routes would silently come out empty.
 		return fmt.Errorf("topo: all counts must be positive: %+v", c)
 	case c.Spines%c.AggsPerPod != 0:
 		return fmt.Errorf("topo: spines (%d) must be a multiple of aggs per pod (%d)",
 			c.Spines, c.AggsPerPod)
 	case c.HostBps <= 0 || c.FabricBps <= 0:
 		return fmt.Errorf("topo: link rates must be positive")
+	case c.ToRUplinkBps < 0:
+		return fmt.Errorf("topo: ToR uplink rate must be non-negative (zero means FabricBps)")
 	}
 	return nil
+}
+
+// torUplinkBps is the effective ToR<->Agg link rate.
+func (c FatTreeConfig) torUplinkBps() float64 {
+	if c.ToRUplinkBps > 0 {
+		return c.ToRUplinkBps
+	}
+	return c.FabricBps
+}
+
+// Oversubscribed returns the configuration with ToR uplinks sized so that
+// per-ToR host capacity is ratio times its uplink capacity (ratio 1 = the
+// paper's 1:1; ratio 4 = a typical production 4:1 ToR layer).
+func (c FatTreeConfig) Oversubscribed(ratio float64) FatTreeConfig {
+	if ratio <= 0 {
+		panic("topo: oversubscription ratio must be positive")
+	}
+	c.ToRUplinkBps = float64(c.HostsPerToR) * c.HostBps / (float64(c.AggsPerPod) * ratio)
+	return c
+}
+
+// OversubscriptionRatio reports per-ToR host capacity over uplink
+// capacity (1 means non-blocking).
+func (c FatTreeConfig) OversubscriptionRatio() float64 {
+	return float64(c.HostsPerToR) * c.HostBps /
+		(float64(c.AggsPerPod) * c.torUplinkBps())
+}
+
+// K16FatTree returns a k=16-style two-tier-pod Clos: 16 pods of 8 ToRs
+// and 8 Aggs, 64 spines, 32 hosts per ToR — 4096 hosts, an order of
+// magnitude beyond the paper's 320. At FabricBps 400G it is 1:1;
+// compose with Oversubscribed to economize the ToR layer, e.g.
+// K16FatTree().Oversubscribed(4).
+func K16FatTree() FatTreeConfig {
+	return FatTreeConfig{
+		Pods:        16,
+		ToRsPerPod:  8,
+		AggsPerPod:  8,
+		Spines:      64,
+		HostsPerToR: 32,
+		HostBps:     100e9,
+		FabricBps:   400e9,
+		LinkDelay:   1 * sim.Microsecond,
+	}
 }
 
 // FatTree is a built fat-tree: hosts in pod-major order plus the switch
@@ -135,15 +189,18 @@ func NewFatTree(nw *net.Network, cfg FatTreeConfig) *FatTree {
 		ft.HostPorts[i] = tp
 	}
 
-	// ToR <-> Agg links (full bipartite within each pod).
+	// ToR <-> Agg links (full bipartite within each pod). These run at
+	// torUplinkBps — FabricBps unless the config oversubscribes the ToR
+	// layer.
 	torUp := make([][]*net.Port, len(ft.ToRs))   // ToR -> its Agg uplinks
 	aggDown := make([][]*net.Port, len(ft.Aggs)) // Agg -> ToR downlinks, by ToR index in pod
+	uplinkBps := cfg.torUplinkBps()
 	for p := 0; p < cfg.Pods; p++ {
 		for t := 0; t < cfg.ToRsPerPod; t++ {
 			tor := ft.ToRs[p*cfg.ToRsPerPod+t]
 			for a := 0; a < cfg.AggsPerPod; a++ {
 				agg := ft.Aggs[p*cfg.AggsPerPod+a]
-				tp, ap := nw.Connect(tor, agg, cfg.FabricBps, cfg.LinkDelay)
+				tp, ap := nw.Connect(tor, agg, uplinkBps, cfg.LinkDelay)
 				torUp[p*cfg.ToRsPerPod+t] = append(torUp[p*cfg.ToRsPerPod+t], tp)
 				if aggDown[p*cfg.AggsPerPod+a] == nil {
 					aggDown[p*cfg.AggsPerPod+a] = make([]*net.Port, cfg.ToRsPerPod)
