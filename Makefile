@@ -16,15 +16,16 @@ test:
 bench:
 	go test -run '^$$' -bench 'BenchmarkEngine|BenchmarkIncastSmall|BenchmarkFabric|BenchmarkSteadyState|BenchmarkMailbox|BenchmarkEpochBarrier' -benchmem ./internal/sim ./internal/net .
 
-# Record a benchmark baseline (BENCH_baseline.json): microbenches plus a
-# timed fig10-medium experiment run.
+# Record a benchmark baseline (BENCH_baseline.json): microbenches plus
+# best-of-3 timed fig10-medium experiment runs, sequential and sharded.
 bench-baseline:
 	go run ./cmd/ci -bench
 
 # Re-measure and gate against the committed baseline; non-zero exit when
-# events/sec regresses (or allocs/op grows) by more than 5%.
+# events/sec regresses (or allocs/op grows) by more than 5%. Keys where
+# either side is a single sample are advisory warnings only.
 bench-compare:
-	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr6.json
+	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr8.json
 
 # Profile the reference workload (fig10-medium): cpu.pprof + heap.pprof into
 # results/profiles/, the pair the PGO build and the perf notes come from.

@@ -25,10 +25,11 @@ func TestCompareBaselinesGatesEventsPerSec(t *testing.T) {
 	mk := func(evps, allocs float64, expEvps float64) *BenchBaseline {
 		return &BenchBaseline{
 			Results: []BenchResult{{
-				Name:    "BenchmarkIncastSmall",
-				Metrics: map[string]float64{"events/sec": evps, "allocs/op": allocs, "ns/op": 100},
+				Name:       "BenchmarkIncastSmall",
+				Iterations: 100,
+				Metrics:    map[string]float64{"events/sec": evps, "allocs/op": allocs, "ns/op": 100},
 			}},
-			Experiment: &ExpBench{Name: "fig10", Scale: "medium", EventsPerSec: expEvps},
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium", Samples: 3, EventsPerSec: expEvps},
 		}
 	}
 	base := mk(1e6, 0, 1.5e6)
@@ -64,10 +65,78 @@ func TestCompareBaselinesGatesEventsPerSec(t *testing.T) {
 	}
 }
 
+func TestCompareBaselinesSingleSampleAdvisory(t *testing.T) {
+	// A key where either side is one sample (benchmark Iterations <= 1,
+	// experiment Samples <= 1) must warn instead of gating: this is the
+	// PR-6 regression where a 1-iteration Fig10Large benchmark swung
+	// -17.8% on machine noise and failed an otherwise clean gate.
+	mk := func(iters int64, samples int, evps float64) *BenchBaseline {
+		return &BenchBaseline{
+			Results: []BenchResult{{
+				Name:       "BenchmarkFig10Large",
+				Iterations: iters,
+				Metrics:    map[string]float64{"events/sec": evps, "allocs/op": evps / 100},
+			}},
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium", Samples: samples, EventsPerSec: evps},
+		}
+	}
+	// 20% swings everywhere, but every key single-sample on one side or
+	// the other: advisory only.
+	if n := compareBaselines(mk(1, 3, 1e6), mk(100, 3, 0.8e6), 0.05); n != 1 {
+		t.Fatalf("1-iteration baseline bench gated (want only the multi-sample experiment): n=%d", n)
+	}
+	if n := compareBaselines(mk(100, 1, 1e6), mk(100, 3, 0.8e6), 0.05); n != 1 {
+		t.Fatalf("1-sample baseline experiment gated (want only the multi-iteration bench): n=%d", n)
+	}
+	if n := compareBaselines(mk(1, 1, 1e6), mk(1, 1, 0.8e6), 0.05); n != 0 {
+		t.Fatalf("all-single-sample regression gated: n=%d, want advisory only", n)
+	}
+	// Multi-sample on both sides: both keys gate.
+	if n := compareBaselines(mk(100, 3, 1e6), mk(100, 3, 0.8e6), 0.05); n != 2 {
+		t.Fatalf("multi-sample regression count = %d, want 2", n)
+	}
+	// Single-sample allocs/op growth is also advisory.
+	cur := mk(1, 3, 1e6)
+	cur.Results[0].Metrics["allocs/op"] = 1e6
+	if n := compareBaselines(mk(1, 3, 1e6), cur, 0.05); n != 0 {
+		t.Fatalf("single-sample allocs growth gated: n=%d", n)
+	}
+}
+
+func TestCompareBaselinesGatesShardedExperiment(t *testing.T) {
+	mk := func(seqEvps, shEvps float64) *BenchBaseline {
+		return &BenchBaseline{
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium", Samples: 3, EventsPerSec: seqEvps},
+			Sharded:    &ExpBench{Name: "fig10", Scale: "medium", Shards: 4, Samples: 3, EventsPerSec: shEvps},
+		}
+	}
+	base := mk(1e6, 0.9e6)
+	if n := compareBaselines(base, mk(1e6, 0.9e6), 0.05); n != 0 {
+		t.Fatalf("unchanged sharded key flagged: n=%d", n)
+	}
+	// Parallel-engine overhead regression gates even when the sequential
+	// engine is unchanged.
+	if n := compareBaselines(base, mk(1e6, 0.7e6), 0.05); n != 1 {
+		t.Fatalf("sharded regression count = %d, want 1", n)
+	}
+	// A baseline recorded before the sharded key existed warns, not gates.
+	old := mk(1e6, 0.9e6)
+	old.Sharded = nil
+	if n := compareBaselines(old, mk(1e6, 0.5e6), 0.05); n != 0 {
+		t.Fatalf("one-sided sharded key gated: n=%d", n)
+	}
+	// Mismatched shard counts are different measurements, not comparable.
+	dif := mk(1e6, 0.5e6)
+	dif.Sharded.Shards = 8
+	if n := compareBaselines(base, dif, 0.05); n != 0 {
+		t.Fatalf("shard-count mismatch gated: n=%d", n)
+	}
+}
+
 func TestCompareBaselinesGatesPeakFCTRecords(t *testing.T) {
 	mk := func(peak int) *BenchBaseline {
 		return &BenchBaseline{
-			Experiment: &ExpBench{Name: "fig10", Scale: "medium",
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium", Samples: 3,
 				EventsPerSec: 1e6, PeakFCTRecords: peak},
 		}
 	}

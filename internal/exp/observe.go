@@ -134,10 +134,11 @@ func runSim(cfg Config, label string, eng *sim.Engine, nw *net.Network) {
 // runSimSharded is runSim for a sharded network: it drives the epochs
 // through nw.NewParallel and, when Config.Progress is set, watches the
 // run from a separate observer goroutine. The observer reads only the
-// runner's atomically published barrier snapshots (sim.Parallel.Progress)
-// — never EngineStats or NetworkStats of live shards — so progress
-// reporting is race-clean at any shard count and cannot perturb the
-// workers. (The sequential runSim reads eng.Steps mid-run, which is safe
+// runner's atomically published counters (sim.Parallel.Progress: event
+// batches mid-epoch, exact totals and sim time at each barrier) — never
+// EngineStats or NetworkStats of live shards — so progress reporting is
+// race-clean at any shard count, moves even while a long epoch is still
+// running, and cannot perturb the workers. (The sequential runSim reads eng.Steps mid-run, which is safe
 // there only because its progress calls run on the stepping goroutine.)
 func runSimSharded(cfg Config, label string, nw *net.Network) error {
 	pr := nw.NewParallel()

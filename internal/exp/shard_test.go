@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -31,13 +32,15 @@ func TestParallelShardsCSVDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("datacenter runs in -short mode")
 	}
-	cfg := DefaultConfig()
-	cfg.Scale = "small"
-	cfg.Shards = 4
-	a := runToCSV(t, "fig10", cfg)
-	b := runToCSV(t, "fig10", cfg)
-	if a != b {
-		t.Fatal("same seed, same -shards: CSVs differ between repetitions")
+	for _, shards := range []int{4, 8} {
+		cfg := DefaultConfig()
+		cfg.Scale = "small"
+		cfg.Shards = shards
+		a := runToCSV(t, "fig10", cfg)
+		b := runToCSV(t, "fig10", cfg)
+		if a != b {
+			t.Fatalf("same seed, -shards %d: CSVs differ between repetitions", shards)
+		}
 	}
 }
 
@@ -117,6 +120,13 @@ func TestShardDifferential(t *testing.T) {
 
 	seq := run(0)
 	par := run(3)
+	checkConservationPair(t, seq, par)
+}
+
+// checkConservationPair requires two runs of the same workload to agree
+// on every conservation invariant exactly, and both to be lossless.
+func checkConservationPair(t *testing.T, seq, par net.NetworkStats) {
+	t.Helper()
 	if seq.Drops() != 0 || par.Drops() != 0 || seq.Retransmits != 0 || par.Retransmits != 0 {
 		t.Fatalf("lossless runs recorded losses: seq drops=%d rtx=%d, par drops=%d rtx=%d",
 			seq.Drops(), seq.Retransmits, par.Drops(), par.Retransmits)
@@ -134,4 +144,71 @@ func TestShardDifferential(t *testing.T) {
 	if seq.DataSent != seq.DataDelivered {
 		t.Fatalf("lossless run lost packets: sent %d, delivered %d", seq.DataSent, seq.DataDelivered)
 	}
+}
+
+// TestShardPartitionerDifferential pins the partition half of the
+// determinism contract across partitioners: the spine-split ShardMap and
+// the retained PR-5 ShardMapPodSpine reference each give bit-identical
+// per-flow completion times on repeated runs, and the two partitions
+// agree on every conservation invariant (they re-split PRNG streams and
+// boundary tie order, so completion times may legitimately differ
+// *between* partitioners — only *within* one must they be exact).
+func TestShardPartitionerDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("datacenter runs in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Scale = "small"
+	ftCfg, duration, err := dcScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := dcTraffic(cfg, ftCfg, duration, "hadoop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := hpccVAISF(dcParams(dcMinBDP(ftCfg), ftCfg.HostBps))
+
+	run := func(split func(*topo.FatTree) ([]int, int)) ([]sim.Time, net.NetworkStats) {
+		t.Helper()
+		eng := sim.NewEngine()
+		nw := net.New(eng, cfg.Seed)
+		ft := topo.NewFatTree(nw, ftCfg)
+		assign, k := split(ft)
+		nw.Shard(assign, k)
+		flows := make([]*net.Flow, 0, len(specs))
+		for _, spec := range specs {
+			flows = append(flows, nw.AddFlow(spec, v.make()))
+		}
+		if err := nw.NewParallel().Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !nw.AllFinished() {
+			t.Fatal("flows did not finish")
+		}
+		if err := nw.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		fcts := make([]sim.Time, len(flows))
+		for i, f := range flows {
+			fcts[i] = f.FinishedAt
+		}
+		return fcts, nw.Stats()
+	}
+
+	const shards = 4
+	splitNew := func(ft *topo.FatTree) ([]int, int) { return ft.ShardMap(shards) }
+	splitOld := func(ft *topo.FatTree) ([]int, int) { return ft.ShardMapPodSpine(shards) }
+
+	newA, newStats := run(splitNew)
+	newB, _ := run(splitNew)
+	if !reflect.DeepEqual(newA, newB) {
+		t.Fatal("spine-split partition: per-flow completion times differ between repetitions")
+	}
+	oldA, oldStats := run(splitOld)
+	oldB, _ := run(splitOld)
+	if !reflect.DeepEqual(oldA, oldB) {
+		t.Fatal("legacy pod-spine partition: per-flow completion times differ between repetitions")
+	}
+	checkConservationPair(t, newStats, oldStats)
 }

@@ -95,11 +95,14 @@ type Network struct {
 
 	// Execution shards: shards[0] always exists and wraps Eng (the
 	// sequential simulator is the one-shard special case); Shard(k > 1)
-	// appends the rest, builds mail, and sets window to the minimum
-	// cross-shard link delay (the parallel lookahead).
-	shards []*shard
-	mail   *sim.Mailboxes
-	window sim.Time
+	// appends the rest, builds mail, and derives the parallel lookahead:
+	// window is the global minimum cross-shard link delay, winPair the
+	// per-(src,dst) minimum (flat k*k, the matrix sim.Parallel widens
+	// per-shard horizons with).
+	shards  []*shard
+	mail    *sim.Mailboxes
+	window  sim.Time
+	winPair []sim.Time
 
 	// routeEpoch versions the forwarding state: AddRoute bumps it, and a
 	// flow's pre-resolved flat path is honored only while its pathEpoch

@@ -207,6 +207,7 @@ func (n *Network) Shard(assignment []int, k int) {
 		n.shards = append(n.shards, newShard(n, i, sim.NewEngine()))
 	}
 	n.mail = sim.NewMailboxes(k)
+	n.winPair = make([]sim.Time, k*k)
 	rebind := func(node Node, ports []*Port) {
 		sh := n.shards[assignment[node.NodeID()]]
 		for _, pt := range ports {
@@ -238,7 +239,10 @@ func (n *Network) Shard(assignment []int, k int) {
 }
 
 // bindCrossShard points pt at its mailbox when its peer lives on another
-// shard, and folds the link delay into the network's lookahead window.
+// shard, and folds the link delay into the lookahead: both the global
+// minimum (Window, kept for observability) and the per-(src,dst) pair
+// matrix that sim.Parallel uses to widen each shard's horizon when the
+// binding pair is idle.
 func (n *Network) bindCrossShard(pt *Port) {
 	src, dst := pt.sh.id, pt.peer.sh.id
 	if src == dst {
@@ -252,15 +256,30 @@ func (n *Network) bindCrossShard(pt *Port) {
 	if n.window == 0 || pt.delay < n.window {
 		n.window = pt.delay
 	}
+	if w := &n.winPair[src*len(n.shards)+dst]; *w == 0 || pt.delay < *w {
+		*w = pt.delay
+	}
 }
 
 // Shards returns the number of execution shards (1 unless Shard was
 // called with k > 1).
 func (n *Network) Shards() int { return len(n.shards) }
 
-// Window returns the parallel lookahead: the minimum propagation delay of
-// any cross-shard link (0 when unsharded or when no link crosses shards).
+// Window returns the global parallel lookahead: the minimum propagation
+// delay of any cross-shard link (0 when unsharded or when no link crosses
+// shards). The runner itself uses the finer per-pair matrix, PairWindow.
 func (n *Network) Window() sim.Time { return n.window }
+
+// PairWindow returns the per-pair lookahead: the minimum propagation delay
+// of any src->dst cross-shard link, or 0 when no link connects the pair
+// directly (the pair then never bounds each other's horizon within one
+// epoch; multi-hop influence is bounded hop by hop at the barriers).
+func (n *Network) PairWindow(src, dst int) sim.Time {
+	if n.winPair == nil {
+		return 0
+	}
+	return n.winPair[src*len(n.shards)+dst]
+}
 
 // ShardEngines returns the per-shard engines in shard-id order. For an
 // unsharded network this is just [Eng].
@@ -278,7 +297,8 @@ func (n *Network) ShardEngines() []*sim.Engine {
 // Engine.Step loop is faster there.
 func (n *Network) NewParallel() *sim.Parallel {
 	return sim.NewParallel(n.ShardEngines(), n.mail, sim.ParallelConfig{
-		Window: n.window,
-		Done:   n.AllFinished,
+		Window:  n.window,
+		Windows: n.winPair,
+		Done:    n.AllFinished,
 	})
 }

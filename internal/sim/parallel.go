@@ -1,49 +1,104 @@
 // Conservative, barrier-synchronized parallel execution: several engines
-// (one per topology shard) advance through shared time windows, exchanging
-// cross-shard events through mailboxes at window boundaries.
+// (one per topology shard) advance through per-shard time windows,
+// exchanging cross-shard events through mailboxes at window boundaries.
 //
-// The synchronization protocol is the classic YAWNS window scheme. Every
-// cross-shard interaction carries a minimum latency W (the lookahead: in
-// this simulator, the smallest propagation delay of any link whose
-// endpoints live on different shards). Each epoch the runner computes
+// The synchronization protocol is the classic YAWNS window scheme with
+// per-pair lookahead. Every direct src->dst shard interaction carries a
+// minimum latency W[src][dst] (in this simulator, the smallest propagation
+// delay of any link from a node on src to a node on dst). Influence can
+// also relay — src affects mid which affects dst, or loops back to src
+// itself — but each hop costs at least that pair's W in simulated time, so
+// the earliest any event pending on src can make something land on d is
+// next-event(src) + dist(src, d), where dist is the all-pairs shortest
+// path over W including self-cycles (dist[d][d] = the cheapest loop that
+// leaves d and comes back: d's own traffic echoing off a peer). The runner
+// precomputes dist once (Floyd-Warshall over at most a few dozen shards)
+// and each epoch sets, for every shard d,
 //
-//	horizon = min over shards of next-pending-event time + W
+//	horizon(d) = min over shards src with pending events
+//	             of next-event(src) + dist(src, d)
 //
-// and every shard executes its events with time strictly below the
-// horizon, independently and without locks. Any cross-shard event a shard
-// generates while executing is stamped at least W after the sending
-// event's time, i.e. at or beyond the horizon — so it can never land in
-// the past of a peer that has raced ahead inside the same window. At the
-// barrier the pending cross-shard events are exchanged and merged, a new
-// horizon is computed, and the next epoch begins. Windows are therefore
-// never fixed-width: when every shard is idle until some future time the
-// horizon jumps straight there (skip-ahead), so quiet phases cost one
-// barrier rather than thousands.
+// and every shard executes its events with time strictly below its own
+// horizon, independently and without locks. This is safe because events
+// cross shards only at barriers: a delivery to d at time T belongs to a
+// causal chain whose origin event is pending on some shard src right now
+// (mailboxes are empty at the decision point, and nothing is spontaneous),
+// so T >= next(src) + dist(src, d) >= horizon(d) — it can never land in
+// the past of a receiver that raced ahead inside the same window. Horizons
+// are also monotone across epochs: a shard that turns busy by receiving a
+// delivery inherits, by the triangle inequality, at least the bound its
+// origin already imposed. Idle or loosely-coupled peers therefore stop
+// binding the window: a shard whose only busy neighbors are far away (in
+// delay terms) gets a wide horizon, and when every shard is idle until
+// some future time the horizon jumps straight there (skip-ahead), so quiet
+// phases cost one barrier rather than thousands.
+//
+// As a liveness backstop each run phase is additionally cut after a fixed
+// event budget (phaseEventCap): a shard with an unbounded horizon — no
+// busy peers can reach it — still returns to the barrier periodically so
+// Done and Stop are evaluated with bounded latency. The cut is a pure
+// function of the shard's executed-event count, so it never breaks
+// repetition determinism.
+//
+// Shards are decoupled from goroutines: each phase, a pool of at most
+// min(shards, GOMAXPROCS) workers claims shard indices from an atomic
+// counter (see ParallelConfig.Workers). Within a phase shards touch
+// disjoint state, so which worker runs which shard is invisible to the
+// simulation — and a 1-core machine driving many shards degenerates to a
+// plain loop with no context switches or barrier contention at all.
 //
 // Determinism contract: cross-shard events are stamped with a
-// (time, srcShard, localSeq) key and scheduled into the receiving engine
-// in exactly that order, so same-timestamp ties resolve identically on
-// every run. All stop/finish decisions are evaluated only at barriers,
-// where every shard's state is a pure function of the simulation inputs.
-// A run with a fixed shard count is bit-identical across repetitions (and
-// across worker scheduling); runs with different shard counts are each
-// internally deterministic but may differ from one another, because
-// sharding re-partitions the PRNG streams and same-timestamp tie order at
-// shared queues.
+// (time, srcShard, localSeq) key; each barrier exchange schedules them
+// into the receiving engine in exactly that order, so same-timestamp ties
+// resolve identically on every run. All stop/finish decisions are
+// evaluated only at barriers, where every shard's state is a pure function
+// of the simulation inputs. A run with a fixed shard count is
+// bit-identical across repetitions (and across worker scheduling or pool
+// size); runs with different shard counts, window matrices, or runner
+// versions are each internally deterministic but may differ from one
+// another, because those choices re-partition the PRNG streams, the epoch
+// boundaries, and the same-timestamp tie order at shard boundaries.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"runtime/debug"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
 
 // maxTime is the largest representable simulated time; it serves as the
-// horizon when shards have no cross-shard links to bound each other.
+// horizon when no busy peer bounds a shard.
 const maxTime = Time(math.MaxInt64)
+
+// phaseEventCap is the per-shard event budget of one run phase. It only
+// matters when a shard's horizon is unbounded (or very wide): the shard
+// returns to the barrier after this many events so Stop/Done latency stays
+// bounded even if its queue self-replenishes forever. The cut depends only
+// on the deterministic event sequence, never on wall time.
+const phaseEventCap = 8192
+
+// Mailbox exchange phases; see Mailboxes.phase.
+const (
+	phaseRun uint32 = iota
+	phaseDrain
+	phaseStopped
+)
+
+func phaseName(ph uint32) string {
+	switch ph {
+	case phaseRun:
+		return "run"
+	case phaseDrain:
+		return "drain"
+	case phaseStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("phase-%d", ph)
+}
 
 // xev is one cross-shard event: the absolute time it must execute at on
 // the receiving shard, the deterministic merge key (src shard id plus the
@@ -55,16 +110,80 @@ type xev struct {
 	fn  func()
 }
 
+// Box shrink policy: a box whose drained length stays under a quarter of
+// its capacity for boxShrinkAfter consecutive drains is reallocated at
+// half the capacity (down to boxShrinkMinCap), so one incast burst does
+// not pin peak slice capacity for the rest of a multi-hour run. Halving
+// with hysteresis converges to the working set in a few hundred epochs
+// without thrashing on bursty traffic.
+const (
+	boxShrinkMinCap = 64
+	boxShrinkAfter  = 32
+)
+
+// xbox is one (src, dst) mailbox. Send appends and tracks whether the box
+// is still sorted by time (it almost always is: a sender's clock only
+// moves forward, and all links of one shard pair usually share one delay,
+// so per-box runs come out presorted and the drain-side sort is skipped).
+type xbox struct {
+	evs    []xev
+	lastAt Time   // time of the most recent Send
+	head   int    // merge cursor, used only inside drainPhase
+	sorted bool   // evs is nondecreasing in at (=> sorted by (at, seq))
+	under  uint32 // consecutive underused drains, for the shrink policy
+}
+
+// settle resets the box after (or in place of) a drain: callbacks are
+// released, the merge cursor rewinds, and the shrink policy runs.
+func (b *xbox) settle() {
+	used := len(b.evs)
+	if used > 0 {
+		clear(b.evs) // don't retain callbacks past this epoch
+		b.evs = b.evs[:0]
+	}
+	b.head = 0
+	b.sorted = true
+	if c := cap(b.evs); c > boxShrinkMinCap && used < c/4 {
+		if b.under++; b.under >= boxShrinkAfter {
+			b.evs = make([]xev, 0, c/2)
+			b.under = 0
+		}
+	} else {
+		b.under = 0
+	}
+}
+
+// sortRun orders one box by (at, seq). src is constant within a box, so
+// this is the full (time, srcShard, localSeq) merge key.
+func sortRun(evs []xev) {
+	slices.SortFunc(evs, func(a, b xev) int {
+		switch {
+		case a.at < b.at:
+			return -1
+		case a.at > b.at:
+			return 1
+		case a.seq < b.seq:
+			return -1
+		case a.seq > b.seq:
+			return 1
+		}
+		return 0
+	})
+}
+
 // Mailboxes is the all-pairs cross-shard event exchange for k shards:
 // one single-producer/single-consumer box per (src, dst) pair. During an
 // epoch only src's worker appends to a box; at the barrier only dst's
-// worker drains it — the phases are separated by the barrier's lock, so
-// no box is ever touched from two goroutines at once.
+// worker drains it — the phases are separated by the epoch barrier, so no
+// box is ever touched from two goroutines at once. The phase field makes
+// that contract checkable: Send panics outside the run phase instead of
+// silently corrupting the next epoch's merge.
 type Mailboxes struct {
 	k     int
-	boxes [][]xev  // boxes[src*k+dst]
-	seqs  []uint64 // per-src send counter (shared by all of src's outboxes)
-	outs  []Outbox // pre-built handles, indexed src*k+dst
+	phase atomic.Uint32 // phaseRun / phaseDrain / phaseStopped
+	boxes []xbox        // boxes[src*k+dst]
+	seqs  []uint64      // per-src send counter (shared by all of src's outboxes)
+	outs  []Outbox      // pre-built handles, indexed src*k+dst
 }
 
 // NewMailboxes returns the exchange for k shards.
@@ -74,16 +193,21 @@ func NewMailboxes(k int) *Mailboxes {
 	}
 	m := &Mailboxes{
 		k:     k,
-		boxes: make([][]xev, k*k),
+		boxes: make([]xbox, k*k),
 		seqs:  make([]uint64, k),
 		outs:  make([]Outbox, k*k),
+	}
+	for i := range m.boxes {
+		m.boxes[i].sorted = true
 	}
 	for src := 0; src < k; src++ {
 		for dst := 0; dst < k; dst++ {
 			m.outs[src*k+dst] = Outbox{
-				box: &m.boxes[src*k+dst],
-				seq: &m.seqs[src],
-				src: int32(src),
+				mail: m,
+				box:  &m.boxes[src*k+dst],
+				seq:  &m.seqs[src],
+				src:  int32(src),
+				dst:  int32(dst),
 			}
 		}
 	}
@@ -106,96 +230,172 @@ func (m *Mailboxes) Outbox(src, dst int) *Outbox {
 // Outbox is one (src, dst) sending handle. Send may only be called by the
 // src shard's worker during its run phase.
 type Outbox struct {
-	box *[]xev
-	seq *uint64
-	src int32
+	mail *Mailboxes
+	box  *xbox
+	seq  *uint64
+	src  int32
+	dst  int32
 }
 
 // Send enqueues fn to execute at absolute time at on the destination
 // shard. The (time, srcShard, localSeq) stamp fixes the merge order at
-// the receiving side.
+// the receiving side. Send panics when called outside the sender's run
+// phase (from a drain, or after the run stopped): such a send would race
+// the receiver's merge, so the phase assertion turns a silent corruption
+// into an immediate failure naming the shard pair. The check is one
+// atomic load — cheap enough to stay on in every build.
 func (o *Outbox) Send(at Time, fn func()) {
-	*o.box = append(*o.box, xev{at: at, seq: *o.seq, src: o.src, fn: fn})
+	if ph := o.mail.phase.Load(); ph != phaseRun {
+		panic(fmt.Sprintf("sim: outbox %d->%d: Send during the %s phase (cross-shard sends are only legal from the sender's run phase)",
+			o.src, o.dst, phaseName(ph)))
+	}
+	b := o.box
+	if at < b.lastAt && len(b.evs) > 0 {
+		b.sorted = false
+	}
+	b.lastAt = at
+	b.evs = append(b.evs, xev{at: at, seq: *o.seq, src: o.src, fn: fn})
 	*o.seq++
 }
 
-// barrier is a reusable generation-counted rendezvous for n goroutines.
-// The last arriver runs the supplied action while holding the lock — a
-// single-writer window in which shared epoch state (horizon, stop flag)
-// can be read and written with plain operations — then releases everyone.
+// barrier is a reusable sense-reversing rendezvous for n goroutines. The
+// last arriver runs the supplied action — a single-writer window in which
+// shared epoch state (horizons, stop flag) is read and written with plain
+// operations while every sibling is quiesced — then flips the sense to
+// release everyone. Waiters spin briefly with runtime.Gosched (on a busy
+// machine the release lands within a few scheduler passes, so epochs cost
+// no futex round-trips at all) and fall back to parking on a condvar.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   uint64
+	n     int32
+	count atomic.Int32  // arrivals in the current crossing
+	sense atomic.Uint32 // flips 0/1 at each release
+
+	sleepers atomic.Int32 // waiters parked (or parking) on cond
+	mu       sync.Mutex
+	cond     *sync.Cond
 }
 
 func newBarrier(n int) *barrier {
-	b := &barrier{n: n}
+	b := &barrier{n: int32(n)}
 	b.cond = sync.NewCond(&b.mu)
 	return b
 }
 
-// wait blocks until all n goroutines have arrived. Exactly one caller —
+// barrierSpin bounds the yield-spin before a waiter parks. Spinning is
+// cheap (one atomic load + Gosched per round) and almost always wins:
+// epochs are far shorter than a park/unpark round-trip.
+const barrierSpin = 64
+
+// wait blocks until all n goroutines have arrived. sense is the caller's
+// thread-local sense word, flipped on every crossing; exactly one caller —
 // the last to arrive — runs action (which may be nil) before the release.
-func (b *barrier) wait(action func()) {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
+func (b *barrier) wait(sense *uint32, action func()) {
+	s := *sense ^ 1
+	*sense = s
+	if b.count.Add(1) == b.n {
 		if action != nil {
 			action()
 		}
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-		b.mu.Unlock()
+		// Reset before the sense flip: released waiters may re-arrive at
+		// the next crossing immediately, but they cannot have observed the
+		// flip before the reset is visible.
+		b.count.Store(0)
+		b.sense.Store(s)
+		if b.sleepers.Load() != 0 {
+			// The empty critical section fences against a waiter that
+			// checked the sense before the flip but has not parked yet: it
+			// holds mu from its sleepers increment until cond.Wait parks
+			// it, so after Lock/Unlock every such waiter is parked and the
+			// broadcast cannot be lost.
+			b.mu.Lock()
+			b.mu.Unlock() //nolint:staticcheck // empty section is the fence
+			b.cond.Broadcast()
+		}
 		return
 	}
-	for gen == b.gen {
+	for i := 0; i < barrierSpin; i++ {
+		if b.sense.Load() == s {
+			return
+		}
+		runtime.Gosched()
+	}
+	b.mu.Lock()
+	b.sleepers.Add(1)
+	for b.sense.Load() != s {
 		b.cond.Wait()
 	}
+	b.sleepers.Add(-1)
 	b.mu.Unlock()
 }
 
 // ParallelConfig parameterizes a Parallel runner.
 type ParallelConfig struct {
-	// Window is the lookahead W: the minimum latency of any cross-shard
-	// interaction. Zero means the shards cannot interact at all, and each
-	// epoch runs to queue exhaustion.
+	// Window is the uniform lookahead W: the minimum latency of any
+	// cross-shard interaction. Zero means the shards cannot interact at
+	// all, and each epoch runs to queue exhaustion (or phaseEventCap).
+	// Ignored when Windows is set.
 	Window Time
+	// Windows, when non-nil, is the per-pair direct-hop lookahead matrix,
+	// flat row-major with stride k = len(engines): Windows[src*k+dst] is
+	// the minimum latency of any direct src->dst interaction, and zero
+	// means src cannot send to dst directly. The runner derives the
+	// transitive closure (shortest relay path per pair, self-echo cycles
+	// included) itself, so callers only describe the links they have.
+	// Per-pair lookahead widens the horizon of shards whose binding peers
+	// are idle or far away; Network.Shard derives the matrix from the
+	// cross-shard link delays.
+	Windows []Time
 	// Done, when non-nil, is evaluated at every epoch barrier (by exactly
 	// one goroutine, with all shard work quiesced); returning true stops
 	// the run. Experiments pass Network.AllFinished here.
 	Done func() bool
+	// Workers bounds the worker-goroutine pool. Zero (the default) means
+	// min(shards, GOMAXPROCS): shards are claimed from a counter each
+	// phase, so running k shards on fewer goroutines than k costs nothing
+	// but the loop — while k goroutines on fewer cores would pay context
+	// switches and cache competition at every barrier for no parallelism.
+	// Results are bit-identical for every worker count; tests pin
+	// Workers to the shard count to keep exercising the concurrent paths
+	// regardless of the machine they run on.
+	Workers int
 }
 
-// Parallel drives k engines through barrier-synchronized time windows
-// with one worker goroutine per engine. Construct with NewParallel, start
-// with Run; Stop cancels from any goroutine. A Parallel is single-use.
+// Parallel drives k engines through barrier-synchronized time windows on
+// a pool of worker goroutines (at most one per schedulable core — see
+// ParallelConfig.Workers). Construct with NewParallel, start with Run;
+// Stop cancels from any goroutine. A Parallel is single-use.
 type Parallel struct {
 	engines []*Engine
 	mail    *Mailboxes
-	window  Time
+	dists   []Time // flat k*k shortest cross-shard delay; maxTime = unreachable
 	doneFn  func() bool
+	workers int
 
 	bar *barrier
+	// Phase work queues: each phase, workers claim shard indices from the
+	// matching counter until it passes the shard count. Which worker runs
+	// which shard never affects results — shards touch disjoint state
+	// within a phase — so the counters need no further coordination. Both
+	// are reset inside barrier actions.
+	runIdx   atomic.Int32
+	drainIdx atomic.Int32
 	// Epoch state: written only inside barrier actions (or before the
-	// workers start), read by workers between barriers — the barrier's
-	// lock orders every access.
-	curEnd  Time
+	// workers start), read by workers between barriers — the barrier
+	// orders every access.
+	curEnds []Time // per-shard run-phase horizon
 	curStop bool
-	next    []Time // per-shard next-event time after drain
-	has     []bool // per-shard: any event pending at all
-	drains  [][]xev
+	next    []Time    // per-shard next-event time after drain
+	has     []bool    // per-shard: any event pending at all
+	runs    [][]*xbox // per-shard drain scratch: the non-empty inbox runs
 	epochs  uint64
 
 	stopReq atomic.Bool
 
-	// Progress snapshot, published atomically at each barrier so an
-	// observer goroutine can watch a run without synchronizing with (or
-	// perturbing) the workers.
+	// Progress counters. progEvents advances mid-epoch (runPhase adds its
+	// 1024-event batches as they complete) and is reconciled to the exact
+	// total at each barrier; progNow/progEpochs advance at barriers only.
+	// An observer goroutine can watch a run without synchronizing with
+	// (or perturbing) the workers.
 	progEvents atomic.Uint64
 	progEpochs atomic.Uint64
 	progNow    atomic.Int64
@@ -217,29 +417,112 @@ func NewParallel(engines []*Engine, mail *Mailboxes, cfg ParallelConfig) *Parall
 	if mail == nil && len(engines) > 1 {
 		panic("sim: multiple engines require mailboxes")
 	}
-	return &Parallel{
+	k := len(engines)
+	if cfg.Windows != nil && len(cfg.Windows) != k*k {
+		panic(fmt.Sprintf("sim: window matrix has %d entries, want %d*%d", len(cfg.Windows), k, k))
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	p := &Parallel{
 		engines: engines,
 		mail:    mail,
-		window:  cfg.Window,
+		dists:   buildDists(k, cfg.Window, cfg.Windows),
 		doneFn:  cfg.Done,
-		bar:     newBarrier(len(engines)),
-		next:    make([]Time, len(engines)),
-		has:     make([]bool, len(engines)),
-		drains:  make([][]xev, len(engines)),
+		workers: workers,
+		bar:     newBarrier(workers),
+		curEnds: make([]Time, k),
+		next:    make([]Time, k),
+		has:     make([]bool, k),
+		runs:    make([][]*xbox, k),
 	}
+	for w := range p.runs {
+		p.runs[w] = make([]*xbox, 0, k)
+	}
+	return p
 }
 
-// horizon returns minNext + window, saturating at maxTime (a zero window
-// means the shards cannot interact, so nothing bounds the epoch).
-func (p *Parallel) horizon(minNext Time) Time {
-	if p.window <= 0 {
-		return maxTime
+// buildDists turns the direct-hop lookahead (a uniform window or a
+// per-pair matrix) into the all-pairs shortest cross-shard delay,
+// including self-cycles (the cheapest way a shard's own traffic can echo
+// back to it). Entries of maxTime mean no causal path exists at all.
+func buildDists(k int, window Time, windows []Time) []Time {
+	d := make([]Time, k*k)
+	for i := range d {
+		d[i] = maxTime
 	}
-	h := minNext + p.window
-	if h < minNext {
-		return maxTime
+	switch {
+	case windows != nil:
+		for s := 0; s < k; s++ {
+			for t := 0; t < k; t++ {
+				if s != t && windows[s*k+t] > 0 {
+					d[s*k+t] = windows[s*k+t]
+				}
+			}
+		}
+	case window > 0:
+		for s := 0; s < k; s++ {
+			for t := 0; t < k; t++ {
+				if s != t {
+					d[s*k+t] = window
+				}
+			}
+		}
+	default:
+		return d // shards cannot interact at all
 	}
-	return h
+	// Floyd-Warshall with an infinite diagonal: d[s][s] converges to the
+	// shortest cycle through at least one other shard, which is exactly
+	// the self-echo bound (a shard's local queue needs no lookahead).
+	for mid := 0; mid < k; mid++ {
+		for s := 0; s < k; s++ {
+			dm := d[s*k+mid]
+			if dm == maxTime {
+				continue
+			}
+			for t := 0; t < k; t++ {
+				if d2 := d[mid*k+t]; d2 != maxTime {
+					if sum := dm + d2; sum >= dm && sum < d[s*k+t] {
+						d[s*k+t] = sum
+					}
+				}
+			}
+		}
+	}
+	return d
+}
+
+// computeHorizons sets every shard's run-phase horizon from the quiesced
+// per-shard next-event times: shard d may run strictly below the earliest
+// time any shard's pending work could make an event land on it — its own
+// included, via the self-echo cycle. Saturates at maxTime when nothing
+// bounds the shard.
+func (p *Parallel) computeHorizons() {
+	k := len(p.engines)
+	for d := 0; d < k; d++ {
+		h := maxTime
+		for src := 0; src < k; src++ {
+			if !p.has[src] {
+				continue
+			}
+			dist := p.dists[src*k+d]
+			if dist == maxTime {
+				continue
+			}
+			t := p.next[src] + dist
+			if t < p.next[src] { // overflow
+				t = maxTime
+			}
+			if t < h {
+				h = t
+			}
+		}
+		p.curEnds[d] = h
+	}
 }
 
 // Run executes epochs until every queue drains, Done reports true, Stop
@@ -247,24 +530,27 @@ func (p *Parallel) horizon(minNext Time) Time {
 // error rather than crashing sibling shards mid-epoch). It blocks until
 // all workers have parked at a barrier and exited.
 func (p *Parallel) Run() error {
-	minNext, any := Time(0), false
-	for _, e := range p.engines {
-		if t, ok := e.NextEventTime(); ok && (!any || t < minNext) {
+	any := false
+	minNext := maxTime
+	for w, e := range p.engines {
+		t, ok := e.NextEventTime()
+		p.next[w], p.has[w] = t, ok
+		if ok && t < minNext {
 			minNext, any = t, true
 		}
 	}
 	if !any || (p.doneFn != nil && p.doneFn()) {
 		return nil
 	}
-	p.curEnd = p.horizon(minNext)
+	p.computeHorizons()
 	p.progNow.Store(int64(minNext))
 	var wg sync.WaitGroup
-	for w := range p.engines {
+	for i := 0; i < p.workers; i++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			p.worker(w)
-		}(w)
+			p.worker()
+		}()
 	}
 	wg.Wait()
 	p.errMu.Lock()
@@ -277,10 +563,12 @@ func (p *Parallel) Run() error {
 // from any goroutine, including Done and signal handlers.
 func (p *Parallel) Stop() { p.stopReq.Store(true) }
 
-// Progress returns the counters published at the most recent barrier:
-// total events executed across all shards, the simulated-time floor every
-// shard has reached, and epochs completed. Safe to call concurrently with
-// Run; reading it never perturbs the simulation.
+// Progress returns the run's observable counters: total events executed
+// across all shards (live to within 1024 events per shard, so a long or
+// skip-ahead epoch still shows motion), the simulated-time floor every
+// shard had reached at the most recent barrier, and epochs completed.
+// Safe to call concurrently with Run; reading it never perturbs the
+// simulation.
 func (p *Parallel) Progress() (events uint64, now Time, epochs uint64) {
 	return p.progEvents.Load(), Time(p.progNow.Load()), p.progEpochs.Load()
 }
@@ -298,20 +586,43 @@ func (p *Parallel) ShardSteps() []uint64 {
 	return steps
 }
 
-func (p *Parallel) worker(w int) {
+func (p *Parallel) worker() {
+	k := int32(len(p.engines))
+	var sense uint32
 	for {
-		end, stop := p.curEnd, p.curStop
-		if stop {
+		if p.curStop {
 			return
 		}
-		p.runPhase(w, end)
-		// Barrier 1: every shard has finished executing inside the
-		// window, so every cross-shard send for this epoch is in its box.
-		p.bar.wait(nil)
-		p.drainPhase(w)
+		for {
+			w := p.runIdx.Add(1) - 1
+			if w >= k {
+				break
+			}
+			p.runPhase(int(w), p.curEnds[w])
+		}
+		// Barrier 1: every shard has finished executing inside its window,
+		// so every cross-shard send for this epoch is in its box. The
+		// action flips the exchange into the drain phase so a straggling
+		// Send would panic instead of racing the merges.
+		p.bar.wait(&sense, p.beginDrain)
+		for {
+			w := p.drainIdx.Add(1) - 1
+			if w >= k {
+				break
+			}
+			p.drainPhase(int(w))
+		}
 		// Barrier 2: every inbox is merged; the last arriver computes the
-		// next horizon and the stop decision from fully quiesced state.
-		p.bar.wait(p.advance)
+		// next horizons and the stop decision from fully quiesced state.
+		p.bar.wait(&sense, p.advance)
+	}
+}
+
+// beginDrain is the first barrier's action.
+func (p *Parallel) beginDrain() {
+	p.drainIdx.Store(0)
+	if p.mail != nil {
+		p.mail.phase.Store(phaseDrain)
 	}
 }
 
@@ -327,9 +638,10 @@ func (p *Parallel) fail(w int, r any) {
 	p.stopReq.Store(true)
 }
 
-// runPhase executes shard w's events with time strictly below end,
-// checking for cancellation every 1024 events so a Stop mid-epoch does
-// not have to wait for a long window to drain.
+// runPhase executes shard w's events with time strictly below end. Every
+// 1024 events it publishes the batch to the progress counter and checks
+// for cancellation (so a Stop mid-epoch does not have to wait for a long
+// window to drain) and for the deterministic phaseEventCap cut.
 func (p *Parallel) runPhase(w int, end Time) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -339,8 +651,14 @@ func (p *Parallel) runPhase(w int, end Time) {
 	eng := p.engines[w]
 	n := 0
 	for eng.StepBefore(end) {
-		if n++; n&1023 == 0 && p.stopReq.Load() {
-			return
+		if n++; n&1023 == 0 {
+			p.progEvents.Add(1024)
+			if n >= phaseEventCap {
+				return
+			}
+			if p.stopReq.Load() {
+				return
+			}
 		}
 	}
 }
@@ -349,6 +667,14 @@ func (p *Parallel) runPhase(w int, end Time) {
 // deterministic (time, srcShard, localSeq) order and schedules the events
 // into w's engine, then publishes w's next-event time for the horizon
 // computation at the following barrier.
+//
+// Each box is already a (time, seq)-sorted run in the common case (the
+// sender's clock only moves forward; Send tracks the exception), so the
+// merge is a typed k-way merge over at most k-1 run heads — no reflection,
+// no full-buffer sort, no intermediate copy. Ties pick the lowest source
+// shard because runs are visited in ascending src order. Events are
+// scheduled in ascending time, which is the engine queue's O(1) append
+// path.
 func (p *Parallel) drainPhase(w int) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -357,29 +683,56 @@ func (p *Parallel) drainPhase(w int) {
 	}()
 	eng := p.engines[w]
 	if m := p.mail; m != nil {
-		buf := p.drains[w][:0]
+		runs := p.runs[w][:0]
 		for src := 0; src < m.k; src++ {
-			box := &m.boxes[src*m.k+w]
-			buf = append(buf, *box...)
-			*box = (*box)[:0]
+			if src == w {
+				continue
+			}
+			b := &m.boxes[src*m.k+w]
+			if len(b.evs) == 0 {
+				continue
+			}
+			if !b.sorted {
+				sortRun(b.evs)
+				b.sorted = true
+			}
+			runs = append(runs, b)
 		}
-		if len(buf) > 1 {
-			sort.Slice(buf, func(i, j int) bool {
-				a, b := buf[i], buf[j]
-				if a.at != b.at {
-					return a.at < b.at
+		p.runs[w] = runs // keep any grown capacity for the next epoch
+		switch len(runs) {
+		case 0:
+		case 1:
+			evs := runs[0].evs
+			for i := range evs {
+				eng.At(evs[i].at, evs[i].fn)
+			}
+		default:
+			for len(runs) > 1 {
+				best, bt := 0, runs[0].evs[runs[0].head].at
+				for i := 1; i < len(runs); i++ {
+					if t := runs[i].evs[runs[i].head].at; t < bt {
+						best, bt = i, t
+					}
 				}
-				if a.src != b.src {
-					return a.src < b.src
+				b := runs[best]
+				eng.At(bt, b.evs[b.head].fn)
+				if b.head++; b.head == len(b.evs) {
+					runs = append(runs[:best], runs[best+1:]...)
 				}
-				return a.seq < b.seq
-			})
+			}
+			last := runs[0]
+			for _, ev := range last.evs[last.head:] {
+				eng.At(ev.at, ev.fn)
+			}
 		}
-		for i := range buf {
-			eng.At(buf[i].at, buf[i].fn)
-			buf[i].fn = nil // don't retain callbacks past this epoch
+		// Settle every inbox — drained ones release their callbacks, and
+		// the shrink policy sees quiet boxes too, so a one-off burst does
+		// not pin peak capacity forever.
+		for src := 0; src < m.k; src++ {
+			if src != w {
+				m.boxes[src*m.k+w].settle()
+			}
 		}
-		p.drains[w] = buf[:0]
 	}
 	t, ok := eng.NextEventTime()
 	p.next[w], p.has[w] = t, ok
@@ -387,7 +740,7 @@ func (p *Parallel) drainPhase(w int) {
 
 // advance is the epoch-barrier action: executed by exactly one goroutine
 // while every other worker is parked, it publishes progress and computes
-// the next window (or the stop decision) from globally quiesced state —
+// the next windows (or the stop decision) from globally quiesced state —
 // the only place such decisions are made, which is what keeps fixed-shard
 // runs bit-identical across repetitions.
 func (p *Parallel) advance() {
@@ -400,6 +753,9 @@ func (p *Parallel) advance() {
 			minNext, any = p.next[w], true
 		}
 	}
+	// Reconcile the mid-epoch estimate to the exact total. The estimate
+	// only ever lags (runPhase publishes completed 1024-event batches), so
+	// Progress stays monotone.
 	p.progEvents.Store(events)
 	p.progEpochs.Store(p.epochs)
 	stop := p.stopReq.Load() || !any
@@ -408,8 +764,15 @@ func (p *Parallel) advance() {
 	}
 	if stop {
 		p.curStop = true
+		if p.mail != nil {
+			p.mail.phase.Store(phaseStopped)
+		}
 		return
 	}
 	p.progNow.Store(int64(minNext))
-	p.curEnd = p.horizon(minNext)
+	p.computeHorizons()
+	p.runIdx.Store(0)
+	if p.mail != nil {
+		p.mail.phase.Store(phaseRun)
+	}
 }

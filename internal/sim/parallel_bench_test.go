@@ -54,7 +54,10 @@ func BenchmarkEpochBarrier(b *testing.B) {
 				}
 			}
 			engines[0].At(0, tick)
-			p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+			// Pin the pool to k goroutines: the default would collapse to
+			// GOMAXPROCS and this benchmark exists to price the k-worker
+			// rendezvous, not the claim loop.
+			p := NewParallel(engines, mail, ParallelConfig{Window: 1, Workers: k})
 			b.ResetTimer()
 			if err := p.Run(); err != nil {
 				b.Fatal(err)

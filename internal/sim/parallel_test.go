@@ -63,7 +63,8 @@ func TestMailboxValidation(t *testing.T) {
 // toyRing wires k shards into a ring of ping-pong timers: each shard's
 // node, upon firing, re-arms locally and sends a cross-shard event to the
 // next shard with delay w. It returns the runner and the per-shard trace.
-func toyRing(k int, w Time, hops int) (*Parallel, [][]string) {
+// workers pins the pool size (0 = the GOMAXPROCS default).
+func toyRing(k int, w Time, hops, workers int) (*Parallel, [][]string) {
 	engines := make([]*Engine, k)
 	for i := range engines {
 		engines[i] = NewEngine()
@@ -98,7 +99,7 @@ func toyRing(k int, w Time, hops int) (*Parallel, [][]string) {
 	// timestamp collision at t=0 when k == 1.
 	engines[0].At(0, hop(0, 0, hops/2))
 	engines[(k-1)%k].At(0, hop((k-1)%k, 1000, hops-hops/2))
-	return NewParallel(engines, mail, ParallelConfig{Window: w}), traces
+	return NewParallel(engines, mail, ParallelConfig{Window: w, Workers: workers}), traces
 }
 
 // TestParallelDeterministicToy runs the same toy workload twice per shard
@@ -107,7 +108,7 @@ func toyRing(k int, w Time, hops int) (*Parallel, [][]string) {
 func TestParallelDeterministicToy(t *testing.T) {
 	for _, k := range []int{1, 2, 3, 5} {
 		run := func() [][]string {
-			p, traces := toyRing(k, 7, 400)
+			p, traces := toyRing(k, 7, 400, 0)
 			if err := p.Run(); err != nil {
 				t.Fatalf("k=%d: %v", k, err)
 			}
@@ -124,6 +125,35 @@ func TestParallelDeterministicToy(t *testing.T) {
 		if total != 400 {
 			t.Fatalf("k=%d: executed %d hops, want 400", k, total)
 		}
+	}
+}
+
+// TestParallelWorkerPoolEquivalence pins the worker-pool half of the
+// determinism contract: the same workload is bit-identical whether the
+// shards run on one goroutine, one per shard, or anything in between —
+// the pool size only changes wall-clock behavior, never results.
+func TestParallelWorkerPoolEquivalence(t *testing.T) {
+	const k = 5
+	run := func(workers int) [][]string {
+		p, traces := toyRing(k, 7, 400, workers)
+		if p.workers != workers {
+			t.Fatalf("pool size = %d, want %d", p.workers, workers)
+		}
+		if err := p.Run(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return traces
+	}
+	want := run(1)
+	for _, workers := range []int{2, 3, k} {
+		if got := run(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: traces differ from the single-worker run", workers)
+		}
+	}
+	// Oversized requests clamp to the shard count.
+	p, _ := toyRing(2, 1, 4, 16)
+	if p.workers != 2 {
+		t.Fatalf("pool size = %d for 2 shards, want clamp to 2", p.workers)
 	}
 }
 
@@ -183,7 +213,9 @@ func TestParallelStopDuringEpoch(t *testing.T) {
 func TestParallelPanicPropagates(t *testing.T) {
 	engines := []*Engine{NewEngine(), NewEngine(), NewEngine()}
 	mail := NewMailboxes(3)
-	p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+	// One goroutine per shard, so the panic unwinds concurrently with live
+	// sibling workers (the deadlock the recovery exists to prevent).
+	p := NewParallel(engines, mail, ParallelConfig{Window: 1, Workers: 3})
 	for i := 0; i < 3; i++ {
 		eng := engines[i]
 		var tick func()
@@ -223,11 +255,275 @@ func TestParallelDoneStops(t *testing.T) {
 	}
 }
 
+// TestBuildDists pins the transitive-closure lookahead: a directed ring
+// with distinct hop delays, where every pair's bound is the path around
+// the ring and every diagonal entry is the full cycle (the self-echo
+// bound).
+func TestBuildDists(t *testing.T) {
+	// 0 -> 1 costs 1, 1 -> 2 costs 2, 2 -> 0 costs 4.
+	w := []Time{
+		0, 1, 0,
+		0, 0, 2,
+		4, 0, 0,
+	}
+	d := buildDists(3, 0, w)
+	want := []Time{
+		7, 1, 3,
+		6, 7, 2,
+		4, 5, 7,
+	}
+	for i, v := range want {
+		if d[i] != v {
+			t.Fatalf("dist[%d][%d] = %v, want %v (full matrix %v)", i/3, i%3, d[i], v, d)
+		}
+	}
+	// A uniform window is the complete graph: off-diagonal W, diagonal 2W.
+	d = buildDists(2, 5, nil)
+	want = []Time{10, 5, 5, 10}
+	for i, v := range want {
+		if d[i] != v {
+			t.Fatalf("uniform dist[%d] = %v, want %v", i, d[i], v)
+		}
+	}
+	// No interaction at all: every bound saturates.
+	for _, v := range buildDists(2, 0, nil) {
+		if v != maxTime {
+			t.Fatal("zero window must leave all pairs unreachable")
+		}
+	}
+}
+
+// TestParallelPerPairLookahead checks an idle downstream shard stops
+// binding the window: on a one-way 2-shard chain the producer runs its
+// whole queue in one epoch (nothing can ever echo back to it), instead of
+// one epoch per lookahead window.
+func TestParallelPerPairLookahead(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail := NewMailboxes(2)
+	windows := []Time{
+		0, 1, // 0 -> 1 has a 1-tick link
+		0, 0, // nothing flows 1 -> 0
+	}
+	p := NewParallel(engines, mail, ParallelConfig{Windows: windows})
+	const n = 100
+	received := 0
+	out := mail.Outbox(0, 1)
+	var last Time = -1
+	for i := 0; i < n; i++ {
+		at := Time(i)
+		engines[0].At(at, func() {
+			out.Send(at+1, func() {
+				if now := engines[1].Now(); now < last {
+					t.Errorf("receiver time went backwards: %v after %v", now, last)
+				}
+				last = engines[1].Now()
+				received++
+			})
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if received != n {
+		t.Fatalf("received %d events, want %d", received, n)
+	}
+	// Epoch 1: the producer drains its whole queue (no path back to it);
+	// epoch 2: the consumer drains all deliveries. A uniform-window runner
+	// would need ~n epochs.
+	if p.Epochs() > 4 {
+		t.Fatalf("epochs = %d, want the one-way chain to run in ~2", p.Epochs())
+	}
+}
+
+// TestParallelSelfEchoBound is the regression test for the transitive
+// lookahead: a shard's own traffic can echo off a peer and come back, so
+// its horizon must stay within the round-trip bound even while the peer
+// is idle. A one-hop-only horizon lets the sender race ahead and the
+// echo then schedules into its past (Engine.At panics).
+func TestParallelSelfEchoBound(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail := NewMailboxes(2)
+	const w = 5
+	windows := []Time{
+		0, w,
+		w, 0,
+	}
+	p := NewParallel(engines, mail, ParallelConfig{Windows: windows})
+	replies := 0
+	to1, to0 := mail.Outbox(0, 1), mail.Outbox(1, 0)
+	for i := 0; i < 50; i++ {
+		at := Time(i)
+		engines[0].At(at, func() {
+			to1.Send(engines[0].Now()+w, func() { // ping
+				to0.Send(engines[1].Now()+w, func() { replies++ }) // echo
+			})
+		})
+	}
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if replies != 50 {
+		t.Fatalf("got %d echoes, want 50", replies)
+	}
+}
+
+// TestParallelProgressMidEpoch checks the first satellite bugfix: event
+// counts move mid-epoch (published in 1024-event batches from runPhase),
+// not only at barriers — a long or skip-ahead window no longer freezes
+// -progress. The exact in-callback assertion is deterministic; the
+// concurrent observer makes -race prove the publication is safe.
+func TestParallelProgressMidEpoch(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail := NewMailboxes(2)
+	// Window 0: no cross-shard interaction, so the whole queue would run
+	// as one epoch (up to the phaseEventCap cut) — the worst case for
+	// barrier-only progress. Workers pinned so the publication is exercised
+	// from concurrent goroutines even on one core.
+	p := NewParallel(engines, mail, ParallelConfig{Window: 0, Workers: 2})
+	const n = 6000
+	for i := 0; i < n; i++ {
+		if i == 5000 {
+			engines[0].At(Time(i), func() {
+				ev, _, ep := p.Progress()
+				if ep != 0 {
+					t.Errorf("epoch barrier ran before event 5000 (epochs=%d)", ep)
+				}
+				if ev != 4096 {
+					t.Errorf("mid-epoch progress = %d events, want 4096 (four published batches)", ev)
+				}
+			})
+			continue
+		}
+		engines[0].At(Time(i), func() {})
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var lastEv uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ev, _, _ := p.Progress()
+			if ev < lastEv {
+				t.Errorf("events went backwards: %d after %d", ev, lastEv)
+				return
+			}
+			lastEv = ev
+			runtime.Gosched()
+		}
+	}()
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	<-done
+	if ev, _, _ := p.Progress(); ev != n {
+		t.Fatalf("final progress = %d events, want %d", ev, n)
+	}
+}
+
+// TestMailboxShrink pins the steady-state capacity of a mailbox after a
+// burst: one incast spike must not pin peak slice capacity for the rest
+// of the run — the shrink policy halves an underused box back down to its
+// floor within a bounded number of epochs.
+func TestMailboxShrink(t *testing.T) {
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail := NewMailboxes(2)
+	p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+	out := mail.Outbox(0, 1)
+	nop := func() {}
+	box := &mail.boxes[0*2+1]
+
+	clock := Time(0)
+	for i := 0; i < 10_000; i++ {
+		out.Send(clock, nop)
+		clock++
+	}
+	p.drainPhase(1)
+	for engines[1].Step() {
+	}
+	burstCap := cap(box.evs)
+	if burstCap < 10_000 {
+		t.Fatalf("burst capacity = %d, want >= 10000", burstCap)
+	}
+	// Steady trickle: one event per epoch. The box must shrink back to the
+	// floor (halving every boxShrinkAfter underused drains).
+	for i := 0; i < 400; i++ {
+		out.Send(clock, nop)
+		clock++
+		p.drainPhase(1)
+		for engines[1].Step() {
+		}
+	}
+	if got := cap(box.evs); got > boxShrinkMinCap {
+		t.Fatalf("retained capacity = %d after steady trickle, want <= %d", got, boxShrinkMinCap)
+	}
+	// A box that stays busy must not shrink below its working set.
+	for i := 0; i < 400; i++ {
+		for j := 0; j < 100; j++ {
+			out.Send(clock, nop)
+			clock++
+		}
+		p.drainPhase(1)
+		for engines[1].Step() {
+		}
+	}
+	if got := cap(box.evs); got < 100 {
+		t.Fatalf("busy box shrank to %d, below its 100-event working set", got)
+	}
+}
+
+// TestOutboxSendPhase checks the phase contract: a Send from the drain
+// phase or after the run stopped panics with the shard pair named,
+// instead of silently corrupting the next epoch's merge.
+func TestOutboxSendPhase(t *testing.T) {
+	mustPanicWith := func(name string, want string, fn func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s: expected panic", name)
+				return
+			}
+			msg := fmt.Sprint(r)
+			if !strings.Contains(msg, "0->1") || !strings.Contains(msg, want) {
+				t.Errorf("%s: panic %q, want shard pair 0->1 and %q", name, msg, want)
+			}
+		}()
+		fn()
+	}
+
+	// Drain phase: a mid-drain send races the receiver's merge.
+	mail := NewMailboxes(2)
+	mail.phase.Store(phaseDrain)
+	mustPanicWith("send during drain", "drain", func() {
+		mail.Outbox(0, 1).Send(1, func() {})
+	})
+
+	// After the run stopped: the runner parks the exchange in the stopped
+	// phase, so a closure that leaked an outbox past the run fails loudly.
+	engines := []*Engine{NewEngine(), NewEngine()}
+	mail = NewMailboxes(2)
+	p := NewParallel(engines, mail, ParallelConfig{Window: 1})
+	out := mail.Outbox(0, 1)
+	engines[0].At(0, func() { out.Send(1, func() {}) })
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	mustPanicWith("send after stop", "stopped", func() {
+		out.Send(100, func() {})
+	})
+}
+
 // TestParallelProgressMonotonic hammers Progress from a second goroutine
 // while a run executes; under -race this is the proof the observer path
 // is synchronization-free and safe.
 func TestParallelProgressMonotonic(t *testing.T) {
-	p, _ := toyRing(3, 2, 5_000)
+	p, _ := toyRing(3, 2, 5_000, 3)
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {

@@ -7,11 +7,19 @@ import "sort"
 // count actually used (never more than k, and never more than the number
 // of partition cells available).
 //
-// For k up to Pods+1 the partition is the natural one the paper's
-// topology suggests: one shard per pod (its hosts, ToRs and Aggs — all
-// intra-pod links stay shard-local) plus one shard for the spine layer.
-// Every cross-shard link is then an Agg-Spine link, so the parallel
-// lookahead is the full fabric LinkDelay.
+// For k up to Pods+AggsPerPod the partition keeps pods intact (the
+// pod-local invariant: every host-ToR and ToR-Agg link stays shard-local)
+// and splits the spine layer by spine group — the AggsPerPod natural
+// groups, where group g holds the spines that attach to agg index g of
+// every pod. A spine group never talks to another spine group, so the
+// split costs no extra cross-shard links; it removes the monolithic spine
+// shard that serialized all fabric traffic in the earlier pod+spine
+// partition. Pods round-robin over the first min(k, Pods) shards; spine
+// groups go to dedicated trailing shards when k > Pods, and otherwise
+// round-robin over the same shards as the pods (co-residence beats one
+// hot spine shard: spine work spreads over all k). Every cross-shard link
+// remains an Agg-Spine link, so the parallel lookahead is the full fabric
+// LinkDelay.
 //
 // For larger k the pods are split into finer cells — one per ToR subtree
 // (the ToR and its hosts), one per Agg, one per Spine — and the cells are
@@ -30,10 +38,19 @@ func (ft *FatTree) ShardMap(k int) ([]int, int) {
 		return assign, 1
 	}
 
-	if k <= cfg.Pods+1 {
-		// Pod-level cells: pods round-robin over shards 0..k-2 when k-1 <
-		// Pods, spines on the last shard.
-		podShard := func(p int) int { return p % (k - 1) }
+	groups := cfg.AggsPerPod // spine group g = spines attached to agg index g
+	if k <= cfg.Pods+groups {
+		podShards := k
+		if podShards > cfg.Pods {
+			podShards = cfg.Pods
+		}
+		podShard := func(p int) int { return p % podShards }
+		spineShard := func(g int) int {
+			if k <= cfg.Pods {
+				return g % k // co-resident with the pods
+			}
+			return cfg.Pods + g%(k-cfg.Pods) // dedicated spine shards
+		}
 		for i, h := range ft.Hosts {
 			assign[h.NodeID()] = podShard(i / (cfg.ToRsPerPod * cfg.HostsPerToR))
 		}
@@ -43,8 +60,10 @@ func (ft *FatTree) ShardMap(k int) ([]int, int) {
 		for i, a := range ft.Aggs {
 			assign[a.NodeID()] = podShard(i / cfg.AggsPerPod)
 		}
-		for _, s := range ft.Spines {
-			assign[s.NodeID()] = k - 1
+		for i, s := range ft.Spines {
+			// Spine i attaches to agg index i/(Spines/AggsPerPod) in every
+			// pod (see Build), so its group is that agg index.
+			assign[s.NodeID()] = spineShard(i / (cfg.Spines / groups))
 		}
 		return assign, k
 	}
@@ -95,6 +114,38 @@ func (ft *FatTree) ShardMap(k int) ([]int, int) {
 			assign[id] = best
 		}
 		load[best] += cells[ci].weight
+	}
+	return assign, k
+}
+
+// ShardMapPodSpine is the earlier coarse partition — one shard per pod
+// plus a single monolithic shard holding the whole spine layer — retained
+// as a differential-testing reference for ShardMap's spine split (both
+// partitions must yield internally deterministic runs; see the
+// determinism contract in sim.Parallel). k is clamped to Pods+1, the most
+// shards this partition can use.
+func (ft *FatTree) ShardMapPodSpine(k int) ([]int, int) {
+	cfg := ft.Config
+	nNodes := len(ft.Hosts) + len(ft.ToRs) + len(ft.Aggs) + len(ft.Spines)
+	assign := make([]int, nNodes)
+	if k <= 1 {
+		return assign, 1
+	}
+	if k > cfg.Pods+1 {
+		k = cfg.Pods + 1
+	}
+	podShard := func(p int) int { return p % (k - 1) }
+	for i, h := range ft.Hosts {
+		assign[h.NodeID()] = podShard(i / (cfg.ToRsPerPod * cfg.HostsPerToR))
+	}
+	for i, t := range ft.ToRs {
+		assign[t.NodeID()] = podShard(i / cfg.ToRsPerPod)
+	}
+	for i, a := range ft.Aggs {
+		assign[a.NodeID()] = podShard(i / cfg.AggsPerPod)
+	}
+	for _, s := range ft.Spines {
+		assign[s.NodeID()] = k - 1
 	}
 	return assign, k
 }

@@ -14,44 +14,141 @@ func buildFT(t *testing.T, pods, tors, hosts int) (*net.Network, *FatTree) {
 	return nw, NewFatTree(nw, DefaultFatTree().Scaled(pods, tors, hosts))
 }
 
-// TestShardMapFatTreePods checks the pod-level partition: every pod's
-// hosts, ToRs and Aggs share one shard (all intra-pod links stay local)
-// and the spine layer gets the extra shard.
+// checkPodLocal asserts every pod's hosts, ToRs and Aggs share one shard
+// (the pod-local invariant: all intra-pod links stay shard-local).
+func checkPodLocal(t *testing.T, ft *FatTree, assign []int, k int) {
+	t.Helper()
+	cfg := ft.Config
+	for p := 0; p < cfg.Pods; p++ {
+		want := assign[ft.ToRs[p*cfg.ToRsPerPod].NodeID()]
+		for i := 0; i < cfg.ToRsPerPod; i++ {
+			tor := ft.ToRs[p*cfg.ToRsPerPod+i]
+			if assign[tor.NodeID()] != want {
+				t.Fatalf("k=%d pod %d: ToR %d off-pod shard", k, p, i)
+			}
+			for h := 0; h < cfg.HostsPerToR; h++ {
+				host := ft.Hosts[(p*cfg.ToRsPerPod+i)*cfg.HostsPerToR+h]
+				if assign[host.NodeID()] != want {
+					t.Fatalf("k=%d pod %d: host under ToR %d on shard %d, want %d",
+						k, p, i, assign[host.NodeID()], want)
+				}
+			}
+		}
+		for i := 0; i < cfg.AggsPerPod; i++ {
+			agg := ft.Aggs[p*cfg.AggsPerPod+i]
+			if assign[agg.NodeID()] != want {
+				t.Fatalf("k=%d pod %d: Agg %d off-pod shard", k, p, i)
+			}
+		}
+	}
+}
+
+// TestShardMapFatTreePods checks the coarse partition (k up to
+// Pods+AggsPerPod): pods stay intact, every spine group stays intact, the
+// spine layer is split across shards instead of serialized on one, and
+// every shard is used.
 func TestShardMapFatTreePods(t *testing.T) {
 	_, ft := buildFT(t, 4, 2, 2)
 	cfg := ft.Config
-	for k := 2; k <= cfg.Pods+1; k++ {
+	groups := cfg.AggsPerPod
+	spinesPerGroup := cfg.Spines / groups
+	for k := 2; k <= cfg.Pods+groups; k++ {
 		assign, got := ft.ShardMap(k)
 		if got != k {
 			t.Fatalf("k=%d: ShardMap used %d shards", k, got)
 		}
-		for p := 0; p < cfg.Pods; p++ {
-			want := assign[ft.ToRs[p*cfg.ToRsPerPod].NodeID()]
-			for i := 0; i < cfg.ToRsPerPod; i++ {
-				tor := ft.ToRs[p*cfg.ToRsPerPod+i]
-				if assign[tor.NodeID()] != want {
-					t.Fatalf("k=%d pod %d: ToR %d off-pod shard", k, p, i)
-				}
-				for h := 0; h < cfg.HostsPerToR; h++ {
-					host := ft.Hosts[(p*cfg.ToRsPerPod+i)*cfg.HostsPerToR+h]
-					if assign[host.NodeID()] != want {
-						t.Fatalf("k=%d pod %d: host under ToR %d on shard %d, want %d",
-							k, p, i, assign[host.NodeID()], want)
-					}
-				}
-			}
-			for i := 0; i < cfg.AggsPerPod; i++ {
-				agg := ft.Aggs[p*cfg.AggsPerPod+i]
-				if assign[agg.NodeID()] != want {
-					t.Fatalf("k=%d pod %d: Agg %d off-pod shard", k, p, i)
+		checkPodLocal(t, ft, assign, k)
+		// Spine groups stay intact, and the layer splits over the expected
+		// number of shards: min(groups, k) when co-resident with pods,
+		// k-Pods dedicated shards otherwise — never one monolithic shard
+		// unless that's all the partition has room for.
+		spineShards := map[int]bool{}
+		for g := 0; g < groups; g++ {
+			want := assign[ft.Spines[g*spinesPerGroup].NodeID()]
+			spineShards[want] = true
+			for i := 0; i < spinesPerGroup; i++ {
+				s := ft.Spines[g*spinesPerGroup+i]
+				if assign[s.NodeID()] != want {
+					t.Fatalf("k=%d: spine group %d split across shards", k, g)
 				}
 			}
 		}
+		wantSpineShards := k
+		if wantSpineShards > cfg.Pods {
+			wantSpineShards = k - cfg.Pods
+		}
+		if wantSpineShards > groups {
+			wantSpineShards = groups
+		}
+		if len(spineShards) != wantSpineShards {
+			t.Fatalf("k=%d: spine layer on %d shards, want %d", k, len(spineShards), wantSpineShards)
+		}
+		if k > cfg.Pods {
+			// Dedicated spine shards: disjoint from every pod shard.
+			for p := 0; p < cfg.Pods; p++ {
+				if spineShards[assign[ft.ToRs[p*cfg.ToRsPerPod].NodeID()]] {
+					t.Fatalf("k=%d: pod %d shares a shard with a spine group despite spare shards", k, p)
+				}
+			}
+		}
+		used := map[int]bool{}
+		for _, s := range assign {
+			used[s] = true
+		}
+		if len(used) != k {
+			t.Fatalf("k=%d: only %d shards used", k, len(used))
+		}
+	}
+}
+
+// TestShardMapFatTreeBalance pins the coarse partition's load spread: the
+// per-shard node counts may differ by at most one pod's worth of nodes
+// plus one spine group (pods and groups round-robin independently).
+func TestShardMapFatTreeBalance(t *testing.T) {
+	_, ft := buildFT(t, 4, 2, 2)
+	cfg := ft.Config
+	podNodes := cfg.ToRsPerPod*cfg.HostsPerToR + cfg.ToRsPerPod + cfg.AggsPerPod
+	groupNodes := cfg.Spines / cfg.AggsPerPod
+	for k := 2; k <= cfg.Pods+cfg.AggsPerPod; k++ {
+		assign, got := ft.ShardMap(k)
+		load := make([]int, got)
+		for _, s := range assign {
+			load[s]++
+		}
+		min, max := load[0], load[0]
+		for _, l := range load[1:] {
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if min == 0 || max-min > podNodes+groupNodes {
+			t.Fatalf("k=%d: unbalanced coarse partition: loads %v", k, load)
+		}
+	}
+}
+
+// TestShardMapPodSpineLegacy checks the retained PR-5 reference partition:
+// pod-local, all spines on the last shard, k clamped to Pods+1.
+func TestShardMapPodSpineLegacy(t *testing.T) {
+	_, ft := buildFT(t, 4, 2, 2)
+	cfg := ft.Config
+	for k := 2; k <= cfg.Pods+1; k++ {
+		assign, got := ft.ShardMapPodSpine(k)
+		if got != k {
+			t.Fatalf("k=%d: ShardMapPodSpine used %d shards", k, got)
+		}
+		checkPodLocal(t, ft, assign, k)
 		for _, s := range ft.Spines {
 			if assign[s.NodeID()] != k-1 {
 				t.Fatalf("k=%d: spine on shard %d, want %d", k, assign[s.NodeID()], k-1)
 			}
 		}
+	}
+	if _, got := ft.ShardMapPodSpine(cfg.Pods + 3); got != cfg.Pods+1 {
+		t.Fatalf("oversized k used %d shards, want clamp to %d", got, cfg.Pods+1)
 	}
 }
 
