@@ -17,7 +17,8 @@ bench:
 	go test -run '^$$' -bench 'BenchmarkEngine|BenchmarkIncastSmall|BenchmarkFabric|BenchmarkSteadyState|BenchmarkMailbox|BenchmarkEpochBarrier' -benchmem ./internal/sim ./internal/net .
 
 # Record a benchmark baseline (BENCH_baseline.json): microbenches plus
-# best-of-3 timed fig10-medium experiment runs, sequential and sharded.
+# best-of-3 timed fig10-medium experiment runs — sequential, sharded, and
+# ACK-coalesced.
 bench-baseline:
 	go run ./cmd/ci -bench
 
@@ -25,7 +26,7 @@ bench-baseline:
 # events/sec regresses (or allocs/op grows) by more than 5%. Keys where
 # either side is a single sample are advisory warnings only.
 bench-compare:
-	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr8.json
+	go run ./cmd/ci -bench -bench-out BENCH_current.json -bench-compare BENCH_pr9.json
 
 # Profile the reference workload (fig10-medium): cpu.pprof + heap.pprof into
 # results/profiles/, the pair the PGO build and the perf notes come from.

@@ -19,9 +19,11 @@
 // benchmark that panics or trips its own invariant checks fails the
 // default gate without paying measurement time.
 //
-// The -bench mode records microbenchmark results plus two timed fig10
-// experiment runs — sequential and sharded (-bench-shards, so the
-// parallel engine's overhead is a first-class gated number) — as JSON.
+// The -bench mode records microbenchmark results plus three timed fig10
+// experiment runs — sequential, sharded (-bench-shards, so the
+// parallel engine's overhead is a first-class gated number), and
+// ACK-coalesced (the opt-in receiver-side fast path, so its advantage
+// over the per-packet model is itself gated) — as JSON.
 // Each timed experiment is run -bench-reps times and the best
 // (highest events/sec) repetition is recorded: a timed run is a single
 // wall-clock sample, and on a shared machine the minimum wall time is
@@ -153,6 +155,10 @@ type ExpBench struct {
 	Seed  int64  `json:"seed"`
 	// Shards is the -shards value of the run (0 or absent: sequential).
 	Shards int `json:"shards,omitempty"`
+	// AckCoalesce marks a run with receiver-side ACK coalescing enabled;
+	// it is part of the key identity (a coalesced run and a per-packet run
+	// are different measurements, never compared against each other).
+	AckCoalesce bool `json:"ack_coalesce,omitempty"`
 	// Samples is how many repetitions the recorded best was taken over.
 	// The compare gate only hard-fails on events/sec when both sides
 	// have Samples > 1; single-sample keys are advisory.
@@ -179,6 +185,12 @@ type BenchBaseline struct {
 	// Sharded is the same experiment re-timed through the parallel
 	// engine, so parallel-overhead regressions gate like sequential ones.
 	Sharded *ExpBench `json:"sharded_experiment,omitempty"`
+	// AckCoalesce is the same experiment re-timed with receiver-side ACK
+	// coalescing on (sequential engine). Gating it keeps the opt-in fast
+	// path fast: a change that quietly erodes the coalesced mode's
+	// throughput fails here even if the default per-packet path is
+	// untouched.
+	AckCoalesce *ExpBench `json:"ack_coalesce_experiment,omitempty"`
 }
 
 func runBench(pkgs []string, expName, scale string, seed int64, reps, shards int) (*BenchBaseline, error) {
@@ -203,18 +215,23 @@ func runBench(pkgs []string, expName, scale string, seed int64, reps, shards int
 	if len(base.Results) == 0 {
 		return nil, fmt.Errorf("no benchmark lines parsed from output:\n%s", out)
 	}
-	eb, err := runExpBench(expName, scale, seed, 0, reps)
+	eb, err := runExpBench(expName, scale, seed, 0, false, reps)
 	if err != nil {
 		return nil, err
 	}
 	base.Experiment = eb
 	if shards > 1 {
-		sb, err := runExpBench(expName, scale, seed, shards, reps)
+		sb, err := runExpBench(expName, scale, seed, shards, false, reps)
 		if err != nil {
 			return nil, err
 		}
 		base.Sharded = sb
 	}
+	cb, err := runExpBench(expName, scale, seed, 0, true, reps)
+	if err != nil {
+		return nil, err
+	}
+	base.AckCoalesce = cb
 	return base, nil
 }
 
@@ -222,15 +239,17 @@ func runBench(pkgs []string, expName, scale string, seed int64, reps, shards int
 // reports the best repetition: the engine-level throughput the
 // microbenchmarks cannot see, with best-of-N filtering out the
 // co-tenant noise a single wall-clock sample cannot.
-func runExpBench(name, scale string, seed int64, shards, reps int) (*ExpBench, error) {
+func runExpBench(name, scale string, seed int64, shards int, coalesce bool, reps int) (*ExpBench, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	fmt.Printf("== bench-exp: %s scale=%s seed=%d shards=%d reps=%d\n", name, scale, seed, shards, reps)
+	fmt.Printf("== bench-exp: %s scale=%s seed=%d shards=%d coalesce=%v reps=%d\n",
+		name, scale, seed, shards, coalesce, reps)
 	cfg := exp.DefaultConfig()
 	cfg.Scale = scale
 	cfg.Seed = seed
 	cfg.Shards = shards
+	cfg.AckCoalesce = coalesce
 	var best *ExpBench
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
@@ -242,6 +261,7 @@ func runExpBench(name, scale string, seed int64, shards, reps int) (*ExpBench, e
 		eb := &ExpBench{
 			Name: name, Scale: scale, Seed: seed,
 			Shards:          shards,
+			AckCoalesce:     coalesce,
 			Samples:         reps,
 			Events:          rs.Events,
 			WallSeconds:     wall.Seconds(),
@@ -288,7 +308,8 @@ func readBaseline(path string) (*BenchBaseline, error) {
 // compareBaselines gates cur against base and returns the number of
 // regressions beyond threshold. Gated metrics: every "events/sec"
 // (higher is better) and "allocs/op" (lower is better), plus the
-// sequential and sharded experiments' events/sec. ns/op deltas are
+// sequential, sharded, and ACK-coalesced experiments' events/sec.
+// ns/op deltas are
 // printed as context only, and any key where either side is a single
 // sample (Iterations <= 1, experiment Samples <= 1) is demoted to an
 // advisory warning — one sample cannot separate a regression from a
@@ -345,13 +366,14 @@ func compareBaselines(base, cur *BenchBaseline, threshold float64) int {
 	}
 	regressions += compareExp("experiment", base.Experiment, cur.Experiment, threshold)
 	regressions += compareExp("sharded-experiment", base.Sharded, cur.Sharded, threshold)
+	regressions += compareExp("ack-coalesce-experiment", base.AckCoalesce, cur.AckCoalesce, threshold)
 	return regressions
 }
 
-// compareExp gates one timed-experiment key pair (sequential or sharded)
-// and returns its regression count. The pair must describe the same run
-// (name, scale, shard count) to be comparable; mismatched or one-sided
-// keys warn without gating.
+// compareExp gates one timed-experiment key pair (sequential, sharded,
+// or ACK-coalesced) and returns its regression count. The pair must
+// describe the same run (name, scale, shard count, ACK mode) to be
+// comparable; mismatched or one-sided keys warn without gating.
 func compareExp(label string, b, c *ExpBench, threshold float64) int {
 	switch {
 	case b == nil && c == nil:
@@ -359,9 +381,11 @@ func compareExp(label string, b, c *ExpBench, threshold float64) int {
 	case b == nil || c == nil:
 		fmt.Printf("warn %s key present on one side only (refresh the baseline?)\n", label)
 		return 0
-	case b.Name != c.Name || b.Scale != c.Scale || b.Shards != c.Shards:
-		fmt.Printf("warn %s keys differ (%s/%s shards=%d vs %s/%s shards=%d), not compared\n",
-			label, b.Name, b.Scale, b.Shards, c.Name, c.Scale, c.Shards)
+	case b.Name != c.Name || b.Scale != c.Scale || b.Shards != c.Shards ||
+		b.AckCoalesce != c.AckCoalesce:
+		fmt.Printf("warn %s keys differ (%s/%s shards=%d coalesce=%v vs %s/%s shards=%d coalesce=%v), not compared\n",
+			label, b.Name, b.Scale, b.Shards, b.AckCoalesce,
+			c.Name, c.Scale, c.Shards, c.AckCoalesce)
 		return 0
 	}
 	id := fmt.Sprintf("%s %s/%s", label, b.Name, b.Scale)

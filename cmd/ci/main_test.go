@@ -133,6 +133,39 @@ func TestCompareBaselinesGatesShardedExperiment(t *testing.T) {
 	}
 }
 
+func TestCompareBaselinesGatesAckCoalesceExperiment(t *testing.T) {
+	mk := func(seqEvps, coEvps float64) *BenchBaseline {
+		return &BenchBaseline{
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium", Samples: 3, EventsPerSec: seqEvps},
+			AckCoalesce: &ExpBench{Name: "fig10", Scale: "medium", AckCoalesce: true,
+				Samples: 3, EventsPerSec: coEvps},
+		}
+	}
+	base := mk(1e6, 1.3e6)
+	if n := compareBaselines(base, mk(1e6, 1.3e6), 0.05); n != 0 {
+		t.Fatalf("unchanged coalesce key flagged: n=%d", n)
+	}
+	// The coalesced fast path regressing gates even when the default
+	// per-packet path is unchanged.
+	if n := compareBaselines(base, mk(1e6, 1.0e6), 0.05); n != 1 {
+		t.Fatalf("coalesce regression count = %d, want 1", n)
+	}
+	// A baseline recorded before the coalesce key existed warns, not gates.
+	old := mk(1e6, 1.3e6)
+	old.AckCoalesce = nil
+	if n := compareBaselines(old, mk(1e6, 0.5e6), 0.05); n != 0 {
+		t.Fatalf("one-sided coalesce key gated: n=%d", n)
+	}
+	// An ACK-mode mismatch is a different measurement, not comparable: a
+	// baseline whose key was (wrongly) recorded per-packet must warn
+	// rather than gate against a coalesced run.
+	dif := mk(1e6, 0.5e6)
+	dif.AckCoalesce.AckCoalesce = false
+	if n := compareBaselines(base, dif, 0.05); n != 0 {
+		t.Fatalf("ACK-mode mismatch gated: n=%d", n)
+	}
+}
+
 func TestCompareBaselinesGatesPeakFCTRecords(t *testing.T) {
 	mk := func(peak int) *BenchBaseline {
 		return &BenchBaseline{

@@ -58,15 +58,18 @@ func dcTraffic(cfg Config, ftCfg topo.FatTreeConfig, duration sim.Time, name str
 }
 
 // runDC runs one datacenter simulation: the given traffic on the fat-tree
-// under one protocol variant, returning per-flow completion records.
+// under one protocol variant, returning per-flow completion records and
+// the network's counter snapshot (the ack-coalesce experiment reads the
+// ACK counters; figure assembly ignores it).
 // Completion records are collected after the run (CollectFinished) rather
 // than via an OnFlowFinish recorder, so the same code path serves
 // sequential and sharded runs — on a sharded network finish callbacks
 // fire on worker goroutines. Every derived output sorts, so the record
 // order difference is invisible (goldens are bit-identical).
-func runDC(cfg Config, v variant, ftCfg topo.FatTreeConfig, specs []net.FlowSpec) ([]metrics.FlowRecord, error) {
+func runDC(cfg Config, v variant, ftCfg topo.FatTreeConfig, specs []net.FlowSpec) ([]metrics.FlowRecord, net.NetworkStats, error) {
 	eng := sim.NewEngine()
 	nw := net.New(eng, cfg.Seed)
+	nw.AckCoalesce = cfg.AckCoalesce
 	ft := topo.NewFatTree(nw, ftCfg)
 	if cfg.Shards > 1 {
 		assign, k := ft.ShardMap(cfg.Shards)
@@ -77,20 +80,20 @@ func runDC(cfg Config, v variant, ftCfg topo.FatTreeConfig, specs []net.FlowSpec
 	}
 	if nw.Shards() > 1 {
 		if err := runSimSharded(cfg, v.label, nw); err != nil {
-			return nil, fmt.Errorf("%s: %w", v.label, err)
+			return nil, net.NetworkStats{}, fmt.Errorf("%s: %w", v.label, err)
 		}
 	} else {
 		runSim(cfg, v.label, eng, nw)
 	}
 	if !nw.AllFinished() {
-		return nil, fmt.Errorf("%s: flows did not finish", v.label)
+		return nil, net.NetworkStats{}, fmt.Errorf("%s: flows did not finish", v.label)
 	}
 	if err := nw.CheckConservation(); err != nil {
-		return nil, fmt.Errorf("%s: %w", v.label, err)
+		return nil, net.NetworkStats{}, fmt.Errorf("%s: %w", v.label, err)
 	}
 	records := metrics.CollectFinished(nw)
 	cfg.notePeakFCT(len(records))
-	return records, nil
+	return records, nw.Stats(), nil
 }
 
 // dcMinBDP probes the fat-tree's minimum BDP (the shortest, same-ToR
@@ -136,7 +139,8 @@ func dcFigure(name, title, workloadName string, pct float64) *Experiment {
 			vs := dcVariants(p)
 
 			outs, err := par.MapErr(len(vs), cfg.Workers, func(i int) ([]metrics.FlowRecord, error) {
-				return runDC(cfg, vs[i], ftCfg, specs)
+				records, _, err := runDC(cfg, vs[i], ftCfg, specs)
+				return records, err
 			})
 			if err != nil {
 				return nil, err

@@ -94,7 +94,8 @@ func runSwiftHAI(cfg Config) (*Result, error) {
 		swiftHAIVariant(p),
 	}
 	outs, err := par.MapErr(len(vs), cfg.Workers, func(i int) ([]metrics.FlowRecord, error) {
-		return runDC(small, vs[i], ftCfg, specs)
+		records, _, err := runDC(small, vs[i], ftCfg, specs)
+		return records, err
 	})
 	if err != nil {
 		return nil, err

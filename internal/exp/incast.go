@@ -62,6 +62,7 @@ func runIncast(cfg Config, v variant, senders int, setup func(*net.Network, *top
 	out := &incastOut{label: v.label}
 	eng := sim.NewEngine()
 	nw := net.New(eng, cfg.Seed)
+	nw.AckCoalesce = cfg.AckCoalesce
 	st := topo.NewStar(nw, senders+1, hostRate, linkDelay)
 	dst := st.Hosts[senders].NodeID()
 

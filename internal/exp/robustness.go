@@ -39,7 +39,7 @@ func runRobustness(cfg Config) (*Result, error) {
 		}
 		tail := map[string]float64{}
 		for _, v := range dcVariants(p) {
-			recs, err := runDC(seedCfg, v, ftCfg, specs)
+			recs, _, err := runDC(seedCfg, v, ftCfg, specs)
 			if err != nil {
 				return nil, err
 			}

@@ -112,6 +112,7 @@ type rttOut struct {
 func runRTT(cfg Config, v variant, s rttSetup) (*rttOut, error) {
 	eng := sim.NewEngine()
 	nw := net.New(eng, cfg.Seed)
+	nw.AckCoalesce = cfg.AckCoalesce
 	d := topo.NewDumbbell(nw, s.dc)
 
 	// Host node id -> RTT class, for classing flows by their sender.

@@ -118,7 +118,7 @@ func TestStreamedPercentilesMatchRetainedOnGoldenRuns(t *testing.T) {
 		t.Fatal(err)
 	}
 	dp := dcParams(dcMinBDP(ftCfg), ftCfg.HostBps)
-	recs, err := runDC(cfg, dcVariants(dp)[1], ftCfg, specs)
+	recs, _, err := runDC(cfg, dcVariants(dp)[1], ftCfg, specs)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -33,9 +33,14 @@ type RunStats struct {
 	SimSeconds float64 `json:"sim_seconds"`
 
 	// Network counters (summed across runs).
-	DataSent      int64   `json:"data_pkts_sent"`
-	DataDelivered int64   `json:"data_pkts_delivered"`
-	AcksSent      int64   `json:"acks_sent"`
+	DataSent      int64 `json:"data_pkts_sent"`
+	DataDelivered int64 `json:"data_pkts_delivered"`
+	AcksSent      int64 `json:"acks_sent"`
+	// AcksCoalesced counts acknowledgements folded into an already-queued
+	// ACK by receiver-side coalescing (Network.AckCoalesce). Omitted when
+	// zero so manifests of historical (and default-config) runs keep their
+	// exact key set. AcksSent + AcksCoalesced == DataDelivered + DataOutOfSeq.
+	AcksCoalesced int64   `json:"acks_coalesced,omitempty"`
 	ECNMarks      int64   `json:"ecn_marks"`
 	PFCPauses     int64   `json:"pfc_pauses"`
 	PoolGets      int64   `json:"pool_gets"`
@@ -132,6 +137,7 @@ func (s *RunStats) fillNetwork(ns net.NetworkStats) {
 	s.DataSent = ns.DataSent
 	s.DataDelivered = ns.DataDelivered
 	s.AcksSent = ns.AcksSent
+	s.AcksCoalesced = ns.AcksCoalesced
 	s.ECNMarks = ns.ECNMarks
 	s.PFCPauses = ns.PFCPauses
 	s.PoolGets = ns.PoolGets
@@ -161,6 +167,7 @@ func (s *RunStats) Add(o RunStats) {
 	s.DataSent += o.DataSent
 	s.DataDelivered += o.DataDelivered
 	s.AcksSent += o.AcksSent
+	s.AcksCoalesced += o.AcksCoalesced
 	s.ECNMarks += o.ECNMarks
 	s.PFCPauses += o.PFCPauses
 	s.PoolGets += o.PoolGets
@@ -222,6 +229,9 @@ func (s RunStats) String() string {
 	if drops := s.DataDrops + s.AckDrops; drops > 0 || s.Retransmits > 0 {
 		out += fmt.Sprintf(", %d drops (%d buffer, %d wire), %d retransmits, %d RTOs",
 			drops, s.BufferDrops, s.WireDrops, s.Retransmits, s.RTOFires)
+	}
+	if s.AcksCoalesced > 0 {
+		out += fmt.Sprintf(", %d acks coalesced", s.AcksCoalesced)
 	}
 	if s.Shards > 1 {
 		out += fmt.Sprintf(", %d shards, %d epochs", s.Shards, s.Epochs)

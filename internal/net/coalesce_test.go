@@ -1,0 +1,227 @@
+package net
+
+import (
+	"testing"
+
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// deliverData hand-crafts a data packet from the shard pool and feeds it
+// straight to the receiving host, bypassing the fabric — the receiver-side
+// coalescing path only looks at the packet's fields.
+func deliverData(nw *Network, h *Host, f *Flow, seq int64, payload int, ecn bool, sentAt sim.Time) {
+	p := nw.shards[0].getPacket()
+	p.Kind = Data
+	p.Flow = f
+	p.Src = f.Spec.Src
+	p.Dst = f.Spec.Dst
+	p.Seq = seq
+	p.Payload = payload
+	p.Wire = payload + nw.HeaderBytes
+	p.SentAt = sentAt
+	p.ECN = ecn
+	h.receiveData(p)
+}
+
+// TestAckCoalesceMergesQueuedAck pins the unit-level contract: with the
+// uplink transmitter held busy, a second delivery folds into the queued
+// ACK — cumulative position advanced, timestamp replaced, ECE OR-ed in,
+// no second control packet — and the handle clears the moment the ACK is
+// popped for the wire.
+func TestAckCoalesceMergesQueuedAck(t *testing.T) {
+	eng, nw, _ := star(t, 2, 1)
+	nw.AckCoalesce = true
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	// Start far in the future so the sender side stays quiet while the
+	// receiver path is driven by hand.
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 1 << 30, Start: sim.Second}, algo)
+	h1 := nw.Hosts()[1]
+	h1.port.busy = true // ACKs must queue, not cut through
+
+	deliverData(nw, h1, f, 0, 1000, false, 10*usec)
+	if h1.port.q.Len() != 1 {
+		t.Fatalf("queue len = %d after first delivery, want 1 (the ACK)", h1.port.q.Len())
+	}
+	pa := f.pendingAck
+	if pa == nil || pa.Kind != Ack || pa.AckSeq != 1000 {
+		t.Fatalf("pendingAck not registered for the queued ACK: %+v", pa)
+	}
+
+	deliverData(nw, h1, f, 1000, 1000, true, 20*usec)
+	if h1.port.q.Len() != 1 {
+		t.Fatalf("queue len = %d after second delivery, want 1 (coalesced)", h1.port.q.Len())
+	}
+	if f.pendingAck != pa {
+		t.Fatal("coalescing replaced the pending ACK instead of updating it")
+	}
+	if pa.AckSeq != 2000 {
+		t.Fatalf("AckSeq = %d, want 2000 (cumulative position advanced)", pa.AckSeq)
+	}
+	if pa.SentAt != 20*usec {
+		t.Fatalf("SentAt = %v, want the newest sample 20us", pa.SentAt)
+	}
+	if !pa.ECE {
+		t.Fatal("ECN mark on the merged delivery did not OR into ECE")
+	}
+	st := nw.Stats()
+	if st.AcksSent != 1 || st.AcksCoalesced != 1 {
+		t.Fatalf("acksSent=%d acksCoalesced=%d, want 1/1", st.AcksSent, st.AcksCoalesced)
+	}
+	if st.AcksSent+st.AcksCoalesced != st.DataDelivered+st.DataOutOfSeq {
+		t.Fatalf("ack conservation broke: %+v", st)
+	}
+
+	// Release the transmitter: popping the ACK for serialization must
+	// clear the handle so the receiver never mutates an in-flight packet.
+	h1.port.busy = false
+	h1.port.kick()
+	if f.pendingAck != nil {
+		t.Fatal("pendingAck not cleared when the ACK left the queue")
+	}
+	_ = eng
+}
+
+// TestAckCoalesceOffIsInert: with the flag off (the default), the same
+// busy-uplink scenario queues one ACK per delivery and never registers a
+// pending handle — the paper-faithful per-packet model.
+func TestAckCoalesceOffIsInert(t *testing.T) {
+	_, nw, _ := star(t, 2, 1)
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 1 << 30, Start: sim.Second}, algo)
+	h1 := nw.Hosts()[1]
+	h1.port.busy = true
+
+	deliverData(nw, h1, f, 0, 1000, false, 10*usec)
+	deliverData(nw, h1, f, 1000, 1000, false, 20*usec)
+	if h1.port.q.Len() != 2 {
+		t.Fatalf("queue len = %d, want 2 (one ACK per packet with coalescing off)", h1.port.q.Len())
+	}
+	if f.pendingAck != nil {
+		t.Fatal("pendingAck set with AckCoalesce off")
+	}
+	st := nw.Stats()
+	if st.AcksSent != 2 || st.AcksCoalesced != 0 {
+		t.Fatalf("acksSent=%d acksCoalesced=%d, want 2/0", st.AcksSent, st.AcksCoalesced)
+	}
+}
+
+// TestAckCoalesceBidirectionalConservation runs data both directions over
+// one pair of hosts so each uplink carries data and ACKs at once — the
+// contention that actually makes ACKs queue (a pure one-way receiver's
+// uplink is essentially idle and every ACK cuts through). All flows must
+// complete exactly, and every delivery must be covered by a generated or
+// coalesced acknowledgement.
+func TestAckCoalesceBidirectionalConservation(t *testing.T) {
+	eng, nw, _ := star(t, 2, 1)
+	nw.AckCoalesce = true
+	const size = 500_000
+	for i, pair := range [][2]int{{0, 1}, {1, 0}} {
+		algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 200_000, RateBps: gbps100}}
+		nw.AddFlow(FlowSpec{ID: i + 1, Src: pair[0], Dst: pair[1], Size: size, Start: 0}, algo)
+	}
+	eng.Run()
+	if !nw.AllFinished() {
+		t.Fatal("flows did not finish with ACK coalescing on")
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	st := nw.Stats()
+	if st.AcksCoalesced == 0 {
+		t.Fatal("bidirectional contention never coalesced an ACK; test exercised nothing")
+	}
+	if st.AcksSent+st.AcksCoalesced != st.DataDelivered+st.DataOutOfSeq {
+		t.Fatalf("ack conservation broke: acksSent=%d + coalesced=%d != delivered=%d + outOfSeq=%d",
+			st.AcksSent, st.AcksCoalesced, st.DataDelivered, st.DataOutOfSeq)
+	}
+	for _, f := range nw.Flows() {
+		if f.Delivered() != size || f.Acked() != size {
+			t.Fatalf("flow %d: delivered=%d acked=%d, want %d", f.Spec.ID, f.Delivered(), f.Acked(), size)
+		}
+	}
+}
+
+// TestAckCoalesceLossyDeterministic: random data and ACK loss with
+// go-back-N recovery, coalescing on, bidirectional traffic. Both same-seed
+// runs must finish exactly, agree bit-for-bit, and actually coalesce.
+func TestAckCoalesceLossyDeterministic(t *testing.T) {
+	run := func() ([]sim.Time, NetworkStats) {
+		eng, nw, _ := star(t, 2, 7)
+		nw.AckCoalesce = true
+		nw.LossRecovery = true
+		nw.DropDataProb = 0.01
+		nw.DropAckProb = 0.01
+		for i, pair := range [][2]int{{0, 1}, {1, 0}} {
+			algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 200_000, RateBps: gbps100}}
+			nw.AddFlow(FlowSpec{ID: i + 1, Src: pair[0], Dst: pair[1], Size: 200_000, Start: 0}, algo)
+		}
+		eng.Run()
+		if !nw.AllFinished() {
+			t.Fatal("flows did not recover under loss with coalescing on")
+		}
+		if err := nw.CheckConservation(); err != nil {
+			t.Fatal(err)
+		}
+		var fct []sim.Time
+		for _, f := range nw.Flows() {
+			fct = append(fct, f.FinishedAt)
+		}
+		return fct, nw.Stats()
+	}
+	fctA, stA := run()
+	fctB, stB := run()
+	if stA.WireDrops == 0 {
+		t.Fatal("1% loss never dropped; recovery path unexercised")
+	}
+	if stA.AcksCoalesced == 0 {
+		t.Fatal("lossy bidirectional run never coalesced")
+	}
+	if stA.AcksSent+stA.AcksCoalesced != stA.DataDelivered+stA.DataOutOfSeq {
+		t.Fatalf("ack conservation broke under loss: %+v", stA)
+	}
+	if stA != stB {
+		t.Fatalf("coalesced lossy run not deterministic:\n%+v\n%+v", stA, stB)
+	}
+	for i := range fctA {
+		if fctA[i] != fctB[i] {
+			t.Fatalf("flow %d finished %v vs %v across identical seeds", i, fctA[i], fctB[i])
+		}
+	}
+}
+
+// TestAckCoalesceSteadyStateZeroAlloc pins the coalesced hot path at zero
+// allocations: once the pool and the pending ACK are warm, folding a
+// delivery into the queued ACK must not allocate — the whole point of
+// updating in place rather than building another control event.
+func TestAckCoalesceSteadyStateZeroAlloc(t *testing.T) {
+	_, nw, _ := star(t, 2, 1)
+	nw.AckCoalesce = true
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 1 << 40, Start: sim.Second}, algo)
+	h1 := nw.Hosts()[1]
+	h1.port.busy = true // the ACK stays queued, so every delivery coalesces
+
+	// Warm up: first delivery builds the pending ACK, a few more cycle the
+	// pooled data packet through the coalesce path.
+	for i := 0; i < 4; i++ {
+		deliverData(nw, h1, f, f.delivered, 1000, false, 10*usec)
+	}
+	if f.pendingAck == nil {
+		t.Fatal("warm-up did not leave a pending ACK")
+	}
+	before := nw.Stats()
+	allocs := testing.AllocsPerRun(1000, func() {
+		deliverData(nw, h1, f, f.delivered, 1000, false, 10*usec)
+	})
+	if allocs != 0 {
+		t.Fatalf("coalesced steady state allocates %.1f per delivery, want 0", allocs)
+	}
+	after := nw.Stats()
+	if after.AcksCoalesced <= before.AcksCoalesced {
+		t.Fatal("measured loop did not take the coalesce path")
+	}
+	if after.PoolAllocs != before.PoolAllocs {
+		t.Fatalf("pool grew during steady state: %d -> %d", before.PoolAllocs, after.PoolAllocs)
+	}
+}

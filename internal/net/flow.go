@@ -50,7 +50,7 @@ type Flow struct {
 	// scheduled event re-arms itself when it fires early, so ACK
 	// processing never cancels engine events.
 	rtoBase     sim.Time // initial timeout: max(RTOMin, 4*baseRTT)
-	rto         sim.Time // current timeout (doubles on fire, capped at RTOMax)
+	rto         sim.Time // current timeout (doubles on fire; capped at RTOMax when set, always at rtoBackoffCeiling)
 	rtoDeadline sim.Time
 	rtoArmed    bool
 	rtoWake     func() // onRTO bound once: the timeout event body
@@ -99,6 +99,15 @@ type Flow struct {
 	// Receiver side.
 	delivered int64
 	lastCNP   sim.Time
+	// pendingAck is the flow's ACK still waiting in the destination
+	// host's uplink queue, when Network.AckCoalesce is on and one exists.
+	// While the handle is set Host.receiveData folds new acknowledgements
+	// into that packet in place instead of enqueuing another; Port.kick
+	// clears it the moment the ACK is popped for serialization, after
+	// which the packet is on the wire and must not be touched. Like
+	// delivered/lastCNP this field is only accessed on the destination
+	// host's shard.
+	pendingAck *Packet
 
 	// deliveredMark supports goodput sampling (metrics take deltas).
 	deliveredMark int64
@@ -349,9 +358,18 @@ func (f *Flow) onRTO() {
 	}
 	f.Timeouts++
 	f.sh.rtoFires++
+	// Exponential backoff with a hard ceiling. The ceiling applies even
+	// with RTOMax unset: unbounded doubling overflows sim.Time after ~50
+	// consecutive timeouts (picoseconds in an int64), turning the next
+	// deadline negative — an event scheduled in the past. Check the
+	// overflow wrap (<= 0) before comparing against the ceiling: a
+	// wrapped-negative rto would pass a plain "> ceiling" test.
 	f.rto *= 2
-	if f.rto > f.net.RTOMax && f.net.RTOMax > 0 {
-		f.rto = f.net.RTOMax
+	if f.rto <= 0 || f.rto > rtoBackoffCeiling {
+		f.rto = rtoBackoffCeiling
+	}
+	if max := f.net.RTOMax; max > 0 && f.rto > max {
+		f.rto = max
 	}
 	// Everything past the last cumulative ACK is presumed lost: rewind
 	// the send cursor and clear the pacing backlog so recovery starts
@@ -362,6 +380,11 @@ func (f *Flow) onRTO() {
 	f.rtoDeadline = now + f.rto
 	f.trySend()
 }
+
+// rtoBackoffCeiling bounds exponential RTO backoff when Network.RTOMax is
+// unset. One minute of simulated time is far beyond any useful timeout and
+// leaves ~17 more doublings before sim.Time (picoseconds, int64) overflows.
+const rtoBackoffCeiling = 60 * sim.Second
 
 func (f *Flow) schedule(at sim.Time) {
 	if f.pending.Valid() {

@@ -63,6 +63,33 @@ func (h *Host) receiveData(p *Packet) {
 		h.sh.dataOutOfSeq++
 	}
 
+	if h.net.AckCoalesce {
+		if pa := f.pendingAck; pa != nil {
+			// An earlier ACK for this flow is still waiting in our uplink
+			// queue (Port.kick clears the handle the instant it leaves for
+			// the wire). Fold this acknowledgement into it in place:
+			// advance the cumulative position, replace the echoed
+			// telemetry and timestamp with the newest sample, and OR in
+			// the congestion echo under the same CNP policy the
+			// per-packet path applies. No new control event exists —
+			// the merged ACK's serialization, per-hop forwarding, and
+			// sender processing all disappear from the run.
+			pa.AckSeq = f.delivered
+			pa.SentAt = p.SentAt
+			pa.Hops = append(pa.Hops[:0], p.Hops...)
+			if p.ECN {
+				now := h.sh.eng.Now()
+				if h.net.CNPInterval == 0 || now-f.lastCNP >= h.net.CNPInterval {
+					pa.ECE = true
+					f.lastCNP = now
+				}
+			}
+			h.sh.putPacket(p)
+			h.sh.acksCoalesced++
+			return
+		}
+	}
+
 	ack := h.sh.getPacket()
 	ack.Kind = Ack
 	ack.Flow = f
@@ -91,5 +118,11 @@ func (h *Host) receiveData(p *Packet) {
 	}
 	h.sh.putPacket(p)
 	h.sh.acksSent++
-	h.port.send(ack)
+	if h.port.send(ack) && h.net.AckCoalesce {
+		// The ACK is waiting in the uplink queue: remember it so later
+		// arrivals coalesce into it instead of queuing behind it. (A
+		// cut-through or tail-dropped ACK returns false and is already out
+		// of reach.)
+		f.pendingAck = ack
+	}
 }

@@ -345,6 +345,79 @@ func TestLinkFlapRecovery(t *testing.T) {
 	}
 }
 
+// TestOverlappingFlapsKeepLinkDown is the regression test for the flap
+// nesting bug: down-ness used to be a bool, so flap A ending at 60 us
+// silently re-enabled the link while flap B's window [40,100) was still
+// open. With the depth counter the link stays down through the full union
+// [10,100) of the windows — probed directly and evidenced by link-down
+// drops after flap A's end.
+func TestOverlappingFlapsKeepLinkDown(t *testing.T) {
+	eng, nw, _ := star(t, 2, 1)
+	nw.LossRecovery = true
+	// Pin the RTO at 20 us so go-back-N keeps retransmitting into the
+	// outage: without retries nothing would serialize (and drop) late in
+	// the union, and the after-60us assertions would be vacuous.
+	nw.RTOMin, nw.RTOMax = 20*usec, 20*usec
+	pt := nw.Hosts()[0].Port()
+	pt.ScheduleFlap(10*usec, 50*usec) // flap A: [10, 60)
+	pt.ScheduleFlap(40*usec, 60*usec) // flap B: [40, 100)
+
+	probe := func(at sim.Time, want bool) {
+		eng.At(at, func() {
+			if pt.LinkDown() != want {
+				t.Errorf("LinkDown at %v = %v, want %v", at, !want, want)
+			}
+		})
+	}
+	probe(5*usec, false)
+	probe(50*usec, true) // both windows open
+	probe(70*usec, true) // flap A ended: B's window must still hold
+	probe(105*usec, false)
+
+	var lateDrops int
+	nw.Hooks.OnDrop = func(f *Flow, kind Kind, seq int64, cause DropCause) {
+		if cause == DropLinkDown && eng.Now() >= 60*usec {
+			lateDrops++
+		}
+	}
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 100_000, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: 0, Dst: 1, Size: 500_000, Start: 0}, algo)
+	eng.Run()
+	if !f.Finished() {
+		t.Fatal("flow did not survive the overlapping down windows")
+	}
+	if lateDrops == 0 {
+		t.Fatal("no link-down drops after flap A's end: flap B's window was clipped")
+	}
+	if err := nw.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Completion cannot predate the union of the windows.
+	if f.FCT() < 100*usec {
+		t.Fatalf("FCT %v implausibly short for an outage spanning [10,100) us", f.FCT())
+	}
+}
+
+// TestSurplusLinkUpIsNoop: closing a window that was never opened must not
+// drive the depth negative (a later real window would then never take the
+// link down).
+func TestSurplusLinkUpIsNoop(t *testing.T) {
+	_, nw, _ := star(t, 2, 1)
+	pt := nw.Hosts()[0].Port()
+	pt.SetLinkDown(false)
+	if pt.LinkDown() {
+		t.Fatal("surplus SetLinkDown(false) took the link down")
+	}
+	pt.SetLinkDown(true)
+	if !pt.LinkDown() {
+		t.Fatal("SetLinkDown(true) after a surplus up did not take the link down")
+	}
+	pt.SetLinkDown(false)
+	if pt.LinkDown() {
+		t.Fatal("matched SetLinkDown(false) left the link down")
+	}
+}
+
 // TestDropCreditsPFCIngress: a tail drop of a packet that already charged
 // PFC ingress accounting must credit it back, or the upstream stays
 // paused forever on bytes that no longer exist.

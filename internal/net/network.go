@@ -39,6 +39,20 @@ type Network struct {
 	// (DCQCN's CNP timer). Zero echoes every ECN-marked packet.
 	CNPInterval sim.Time
 
+	// AckCoalesce enables receiver-side ACK coalescing: when a data packet
+	// arrives while an earlier ACK for the same flow is still sitting
+	// un-serialized in the destination host's uplink queue, the receiver
+	// updates that queued ACK in place — advancing its cumulative AckSeq,
+	// replacing the echoed telemetry and timestamp with the newest sample,
+	// and OR-ing in the ECE bit under the CNP policy — instead of
+	// generating another control packet. This removes the serialization,
+	// per-hop forwarding, and sender-processing events of every merged ACK
+	// at the cost of coarser per-ACK feedback for the congestion-control
+	// algorithms (see DESIGN.md, "Receiver ACK coalescing"). Off by
+	// default: per-packet ACKs are the paper's (ns-3/HPCC-artifact) model
+	// and keep recorded goldens bit-identical.
+	AckCoalesce bool
+
 	// BufferBytes, when positive, caps every egress queue: a packet whose
 	// wire bytes would push the queue past the limit is tail-dropped
 	// (PFC control frames are exempt — dropping them would deadlock the

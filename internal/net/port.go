@@ -47,11 +47,16 @@ type Port struct {
 	q        queue
 	busy     bool
 	pausedBy bool // peer sent PFC Pause: hold data (control still flows)
-	down     bool // link down: packets completing serialization are lost
-	txBytes  int64
-	stampINT bool       // owner is a switch: stamp telemetry on data dequeue
-	red      *REDConfig // ECN marking at enqueue when set
-	bufBytes int64      // egress buffer override; 0 falls back to Network.BufferBytes
+	// downDepth counts overlapping link-down windows: the transmit
+	// direction is down while it is positive, and packets completing
+	// serialization then are lost. A depth (rather than a bool) makes
+	// overlapping ScheduleFlap windows compose: the link comes back up
+	// only when the last open window closes, not when the first one ends.
+	downDepth int
+	txBytes   int64
+	stampINT  bool       // owner is a switch: stamp telemetry on data dequeue
+	red       *REDConfig // ECN marking at enqueue when set
+	bufBytes  int64      // egress buffer override; 0 falls back to Network.BufferBytes
 
 	// PFC ingress-side accounting (switch owners only): bytes currently
 	// buffered in this node that arrived through this port.
@@ -149,11 +154,16 @@ func (pt *Port) bufferLimit() int64 {
 // it when a finite egress buffer is full. PFC control frames are exempt
 // from the cap: they are 64 bytes, jump the queue anyway, and dropping
 // one would wedge the pause protocol.
-func (pt *Port) send(p *Packet) {
+//
+// It reports whether the packet ended up waiting in the egress queue:
+// false when it was tail-dropped or went straight to the transmitter
+// (cut-through). Only a true return leaves the packet reachable for
+// in-place mutation (receiver ACK coalescing keys on this).
+func (pt *Port) send(p *Packet) bool {
 	if lim := pt.bufferLimit(); lim > 0 && p.Kind != Pause && p.Kind != Resume &&
 		pt.q.Bytes()+int64(p.Wire) > lim {
 		pt.sh.drop(p, DropTail)
-		return
+		return false
 	}
 	if pt.red != nil && p.Kind == Data {
 		pt.markECN(p)
@@ -168,10 +178,15 @@ func (pt *Port) send(p *Packet) {
 		pt.busy = true
 		pt.txPkt = p
 		pt.eng.After(pt.serialize(p.Wire), pt.txDone)
-		return
+		return false
 	}
 	pt.q.Push(p)
 	pt.kick()
+	// The packet is still queued: kick either found the transmitter busy,
+	// found the port paused with a data/ACK head, or popped an *earlier*
+	// packet (the only way kick would transmit p itself — idle, unpaused,
+	// p alone in the queue — is exactly the cut-through case above).
+	return true
 }
 
 // sendControl enqueues a PFC control frame ahead of any queued data,
@@ -245,6 +260,11 @@ func (pt *Port) kick() {
 		}
 	}
 	p := pt.q.Pop()
+	if p.Kind == Ack && p.Flow != nil && p.Flow.pendingAck == p {
+		// The ACK is leaving the queue for the wire: from here on the
+		// receiver must not mutate it in place (see Host.receiveData).
+		p.Flow.pendingAck = nil
+	}
 	pt.busy = true
 	pt.txPkt = p
 	pt.eng.After(pt.serialize(p.Wire), pt.txDone)
@@ -285,9 +305,9 @@ func (pt *Port) finishTx(p *Packet) {
 		p.ingress.creditIngress(int64(p.Wire))
 		p.ingress = nil
 	}
-	if pt.down || pt.sh.dropInTransit(p) {
+	if pt.downDepth > 0 || pt.sh.dropInTransit(p) {
 		cause := DropWire
-		if pt.down {
+		if pt.downDepth > 0 {
 			cause = DropLinkDown
 		}
 		pt.sh.drop(p, cause)
@@ -305,24 +325,37 @@ func (pt *Port) finishTx(p *Packet) {
 	pt.kick()
 }
 
-// LinkDown reports whether the port's transmit direction is down.
-func (pt *Port) LinkDown() bool { return pt.down }
+// LinkDown reports whether the port's transmit direction is down (at
+// least one down window is open).
+func (pt *Port) LinkDown() bool { return pt.downDepth > 0 }
 
-// SetLinkDown takes the port's transmit direction down (packets that
-// finish serialization while down are lost) or brings it back up. The
-// transmitter keeps draining either way, so a down window behaves like a
-// span of pure loss rather than a stalled queue; packets already
-// propagating when the link goes down still arrive.
+// SetLinkDown opens (down=true) or closes (down=false) one link-down
+// window on the port's transmit direction; packets that finish
+// serialization while any window is open are lost. Windows nest: each
+// SetLinkDown(true) must be matched by one SetLinkDown(false), and the
+// link is up only when every window has closed — so overlapping
+// ScheduleFlap windows keep the link down through their full union. A
+// surplus SetLinkDown(false) on an up link is a no-op. The transmitter
+// keeps draining either way, so a down window behaves like a span of
+// pure loss rather than a stalled queue; packets already propagating
+// when the link goes down still arrive.
 func (pt *Port) SetLinkDown(down bool) {
-	pt.down = down
-	if !down {
+	if down {
+		pt.downDepth++
+		return
+	}
+	if pt.downDepth > 0 {
+		pt.downDepth--
+	}
+	if pt.downDepth == 0 {
 		pt.kick()
 	}
 }
 
 // ScheduleFlap schedules a link-down window [at, at+duration) on the
-// port's transmit direction. Flows crossing the window need
-// Network.LossRecovery to survive it.
+// port's transmit direction. Windows nest (see SetLinkDown), so
+// overlapping flaps lose packets through their full union. Flows
+// crossing the window need Network.LossRecovery to survive it.
 // Schedule flaps after Network.Shard: the events must land on the shard
 // engine the port ends up bound to.
 func (pt *Port) ScheduleFlap(at sim.Time, duration sim.Time) {

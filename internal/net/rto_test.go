@@ -93,3 +93,50 @@ func TestRTORecoveryOnHighDelayPath(t *testing.T) {
 		t.Fatalf("FCT %v suggests the unclamped RTO fired (want < 60 ms)", fct)
 	}
 }
+
+// TestRTOBackoffNoOverflow is the regression test for unbounded backoff
+// with RTOMax unset: f.rto used to double unconditionally, so ~37
+// consecutive timeouts (from a 100 us base, in picoseconds) wrapped it
+// negative and the next deadline was scheduled in the past. A permanently
+// down link forces timeouts indefinitely; the backoff must plateau at
+// rtoBackoffCeiling with deadlines strictly in the future throughout.
+func TestRTOBackoffNoOverflow(t *testing.T) {
+	eng := sim.NewEngine()
+	nw := New(eng, 1)
+	nw.LossRecovery = true
+	nw.RTOMax = 0 // explicitly unset: only the ceiling bounds the doubling
+	h0, h1 := nw.AddHost(), nw.AddHost()
+	nw.Connect(h0, h1, gbps100, usec)
+	h0.Port().SetLinkDown(true) // never comes back: every retransmission is lost
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	f := nw.AddFlow(FlowSpec{ID: 1, Src: h0.NodeID(), Dst: h1.NodeID(),
+		Size: 10_000}, algo)
+
+	const wantTimeouts = 80 // well past the ~37 that used to overflow
+	prevDeadline := sim.Time(0)
+	for eng.Step() && f.Timeouts < wantTimeouts {
+		if f.rto <= 0 {
+			t.Fatalf("rto wrapped to %v after %d timeouts", f.rto, f.Timeouts)
+		}
+		if f.rto > rtoBackoffCeiling {
+			t.Fatalf("rto %v exceeds ceiling %v", f.rto, sim.Time(rtoBackoffCeiling))
+		}
+		if f.rtoDeadline < prevDeadline {
+			t.Fatalf("rto deadline moved backwards: %v -> %v after %d timeouts",
+				prevDeadline, f.rtoDeadline, f.Timeouts)
+		}
+		prevDeadline = f.rtoDeadline
+		if f.rtoDeadline < eng.Now() {
+			t.Fatalf("rto deadline %v in the past (now %v) after %d timeouts",
+				f.rtoDeadline, eng.Now(), f.Timeouts)
+		}
+	}
+	if f.Timeouts < wantTimeouts {
+		t.Fatalf("engine drained after %d timeouts, want %d (RTO chain broke)",
+			f.Timeouts, wantTimeouts)
+	}
+	if f.rto != rtoBackoffCeiling {
+		t.Fatalf("rto = %v after %d timeouts, want plateau at ceiling %v",
+			f.rto, f.Timeouts, sim.Time(rtoBackoffCeiling))
+	}
+}

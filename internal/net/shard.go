@@ -39,6 +39,7 @@ type shard struct {
 	dataSent      int64
 	dataDelivered int64
 	acksSent      int64
+	acksCoalesced int64 // acknowledgements folded into a queued ACK (AckCoalesce)
 	ecnMarks      int64
 	poolGets      int64
 	poolAllocs    int64
