@@ -19,11 +19,12 @@
 // benchmark that panics or trips its own invariant checks fails the
 // default gate without paying measurement time.
 //
-// The -bench mode records microbenchmark results plus three timed fig10
+// The -bench mode records microbenchmark results plus four timed fig10
 // experiment runs — sequential, sharded (-bench-shards, so the
-// parallel engine's overhead is a first-class gated number), and
+// parallel engine's overhead is a first-class gated number),
 // ACK-coalesced (the opt-in receiver-side fast path, so its advantage
-// over the per-packet model is itself gated) — as JSON.
+// over the per-packet model is itself gated), and macro-event (the
+// bit-identical train-fusion mode, gated for the same reason) — as JSON.
 // Each timed experiment is run -bench-reps times and the best
 // (highest events/sec) repetition is recorded: a timed run is a single
 // wall-clock sample, and on a shared machine the minimum wall time is
@@ -159,6 +160,11 @@ type ExpBench struct {
 	// it is part of the key identity (a coalesced run and a per-packet run
 	// are different measurements, never compared against each other).
 	AckCoalesce bool `json:"ack_coalesce,omitempty"`
+	// MacroEvents marks a run with macro-event train fusion enabled. The
+	// simulation results are bit-identical to per-packet execution, but the
+	// event count and wall clock are not, so it is part of the key identity
+	// like the ACK mode.
+	MacroEvents bool `json:"macro_events,omitempty"`
 	// Samples is how many repetitions the recorded best was taken over.
 	// The compare gate only hard-fails on events/sec when both sides
 	// have Samples > 1; single-sample keys are advisory.
@@ -191,6 +197,12 @@ type BenchBaseline struct {
 	// throughput fails here even if the default per-packet path is
 	// untouched.
 	AckCoalesce *ExpBench `json:"ack_coalesce_experiment,omitempty"`
+	// MacroEvents is the same experiment re-timed with macro-event train
+	// fusion on (sequential engine). Results are bit-identical to the
+	// per-packet run; the key exists so the elision machinery's own cost
+	// stays gated — a change that makes the armed-train bookkeeping
+	// expensive fails here even if the default path is untouched.
+	MacroEvents *ExpBench `json:"macro_event_experiment,omitempty"`
 }
 
 func runBench(pkgs []string, expName, scale string, seed int64, reps, shards int) (*BenchBaseline, error) {
@@ -215,23 +227,28 @@ func runBench(pkgs []string, expName, scale string, seed int64, reps, shards int
 	if len(base.Results) == 0 {
 		return nil, fmt.Errorf("no benchmark lines parsed from output:\n%s", out)
 	}
-	eb, err := runExpBench(expName, scale, seed, 0, false, reps)
+	eb, err := runExpBench(expName, scale, seed, 0, false, false, reps)
 	if err != nil {
 		return nil, err
 	}
 	base.Experiment = eb
 	if shards > 1 {
-		sb, err := runExpBench(expName, scale, seed, shards, false, reps)
+		sb, err := runExpBench(expName, scale, seed, shards, false, false, reps)
 		if err != nil {
 			return nil, err
 		}
 		base.Sharded = sb
 	}
-	cb, err := runExpBench(expName, scale, seed, 0, true, reps)
+	cb, err := runExpBench(expName, scale, seed, 0, true, false, reps)
 	if err != nil {
 		return nil, err
 	}
 	base.AckCoalesce = cb
+	mb, err := runExpBench(expName, scale, seed, 0, false, true, reps)
+	if err != nil {
+		return nil, err
+	}
+	base.MacroEvents = mb
 	return base, nil
 }
 
@@ -239,17 +256,18 @@ func runBench(pkgs []string, expName, scale string, seed int64, reps, shards int
 // reports the best repetition: the engine-level throughput the
 // microbenchmarks cannot see, with best-of-N filtering out the
 // co-tenant noise a single wall-clock sample cannot.
-func runExpBench(name, scale string, seed int64, shards int, coalesce bool, reps int) (*ExpBench, error) {
+func runExpBench(name, scale string, seed int64, shards int, coalesce, macro bool, reps int) (*ExpBench, error) {
 	if reps < 1 {
 		reps = 1
 	}
-	fmt.Printf("== bench-exp: %s scale=%s seed=%d shards=%d coalesce=%v reps=%d\n",
-		name, scale, seed, shards, coalesce, reps)
+	fmt.Printf("== bench-exp: %s scale=%s seed=%d shards=%d coalesce=%v macro=%v reps=%d\n",
+		name, scale, seed, shards, coalesce, macro, reps)
 	cfg := exp.DefaultConfig()
 	cfg.Scale = scale
 	cfg.Seed = seed
 	cfg.Shards = shards
 	cfg.AckCoalesce = coalesce
+	cfg.MacroEvents = macro
 	var best *ExpBench
 	for rep := 0; rep < reps; rep++ {
 		start := time.Now()
@@ -262,6 +280,7 @@ func runExpBench(name, scale string, seed int64, shards int, coalesce bool, reps
 			Name: name, Scale: scale, Seed: seed,
 			Shards:          shards,
 			AckCoalesce:     coalesce,
+			MacroEvents:     macro,
 			Samples:         reps,
 			Events:          rs.Events,
 			WallSeconds:     wall.Seconds(),
@@ -308,7 +327,8 @@ func readBaseline(path string) (*BenchBaseline, error) {
 // compareBaselines gates cur against base and returns the number of
 // regressions beyond threshold. Gated metrics: every "events/sec"
 // (higher is better) and "allocs/op" (lower is better), plus the
-// sequential, sharded, and ACK-coalesced experiments' events/sec.
+// sequential, sharded, ACK-coalesced, and macro-event experiments'
+// events/sec.
 // ns/op deltas are
 // printed as context only, and any key where either side is a single
 // sample (Iterations <= 1, experiment Samples <= 1) is demoted to an
@@ -367,13 +387,15 @@ func compareBaselines(base, cur *BenchBaseline, threshold float64) int {
 	regressions += compareExp("experiment", base.Experiment, cur.Experiment, threshold)
 	regressions += compareExp("sharded-experiment", base.Sharded, cur.Sharded, threshold)
 	regressions += compareExp("ack-coalesce-experiment", base.AckCoalesce, cur.AckCoalesce, threshold)
+	regressions += compareExp("macro-events-experiment", base.MacroEvents, cur.MacroEvents, threshold)
 	return regressions
 }
 
 // compareExp gates one timed-experiment key pair (sequential, sharded,
-// or ACK-coalesced) and returns its regression count. The pair must
-// describe the same run (name, scale, shard count, ACK mode) to be
-// comparable; mismatched or one-sided keys warn without gating.
+// ACK-coalesced, or macro-event) and returns its regression count. The
+// pair must describe the same run (name, scale, shard count, ACK mode,
+// macro mode) to be comparable; mismatched or one-sided keys warn without
+// gating.
 func compareExp(label string, b, c *ExpBench, threshold float64) int {
 	switch {
 	case b == nil && c == nil:
@@ -382,10 +404,10 @@ func compareExp(label string, b, c *ExpBench, threshold float64) int {
 		fmt.Printf("warn %s key present on one side only (refresh the baseline?)\n", label)
 		return 0
 	case b.Name != c.Name || b.Scale != c.Scale || b.Shards != c.Shards ||
-		b.AckCoalesce != c.AckCoalesce:
-		fmt.Printf("warn %s keys differ (%s/%s shards=%d coalesce=%v vs %s/%s shards=%d coalesce=%v), not compared\n",
-			label, b.Name, b.Scale, b.Shards, b.AckCoalesce,
-			c.Name, c.Scale, c.Shards, c.AckCoalesce)
+		b.AckCoalesce != c.AckCoalesce || b.MacroEvents != c.MacroEvents:
+		fmt.Printf("warn %s keys differ (%s/%s shards=%d coalesce=%v macro=%v vs %s/%s shards=%d coalesce=%v macro=%v), not compared\n",
+			label, b.Name, b.Scale, b.Shards, b.AckCoalesce, b.MacroEvents,
+			c.Name, c.Scale, c.Shards, c.AckCoalesce, c.MacroEvents)
 		return 0
 	}
 	id := fmt.Sprintf("%s %s/%s", label, b.Name, b.Scale)

@@ -166,6 +166,37 @@ func TestCompareBaselinesGatesAckCoalesceExperiment(t *testing.T) {
 	}
 }
 
+func TestCompareBaselinesGatesMacroEventExperiment(t *testing.T) {
+	mk := func(seqEvps, maEvps float64) *BenchBaseline {
+		return &BenchBaseline{
+			Experiment: &ExpBench{Name: "fig10", Scale: "medium", Samples: 3, EventsPerSec: seqEvps},
+			MacroEvents: &ExpBench{Name: "fig10", Scale: "medium", MacroEvents: true,
+				Samples: 3, EventsPerSec: maEvps},
+		}
+	}
+	base := mk(1e6, 1.1e6)
+	if n := compareBaselines(base, mk(1e6, 1.1e6), 0.05); n != 0 {
+		t.Fatalf("unchanged macro key flagged: n=%d", n)
+	}
+	// The train-fusion mode regressing gates even when the default
+	// per-packet path is unchanged.
+	if n := compareBaselines(base, mk(1e6, 0.9e6), 0.05); n != 1 {
+		t.Fatalf("macro regression count = %d, want 1", n)
+	}
+	// A baseline recorded before the macro key existed warns, not gates.
+	old := mk(1e6, 1.1e6)
+	old.MacroEvents = nil
+	if n := compareBaselines(old, mk(1e6, 0.5e6), 0.05); n != 0 {
+		t.Fatalf("one-sided macro key gated: n=%d", n)
+	}
+	// A macro-mode mismatch is a different measurement, not comparable.
+	dif := mk(1e6, 0.5e6)
+	dif.MacroEvents.MacroEvents = false
+	if n := compareBaselines(base, dif, 0.05); n != 0 {
+		t.Fatalf("macro-mode mismatch gated: n=%d", n)
+	}
+}
+
 func TestCompareBaselinesGatesPeakFCTRecords(t *testing.T) {
 	mk := func(peak int) *BenchBaseline {
 		return &BenchBaseline{

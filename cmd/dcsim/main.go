@@ -41,6 +41,7 @@ func main() {
 		oversub      = flag.Float64("oversub", 0, "ToR-layer oversubscription ratio, e.g. 4 for 4:1 (0 = the paper's 1:1 fabric)")
 		k16          = flag.Bool("k16", false, "use the 4096-host k=16-style Clos instead of -pods/-tors/-hosts")
 		coalesce     = flag.Bool("ack-coalesce", false, "enable receiver-side ACK coalescing (diverges from the paper's per-packet ACK model)")
+		macro        = flag.Bool("macro-events", false, "fuse back-to-back same-flow pacing wakeups into port drains (bit-identical results, fewer scheduler events)")
 	)
 	flag.Parse()
 
@@ -73,7 +74,7 @@ func main() {
 		if vaisf {
 			label += " VAI SF"
 		}
-		recs, rs, err := run(*protocol, vaisf, ftCfg, specs, *seed, *shards, *coalesce)
+		recs, rs, err := run(*protocol, vaisf, ftCfg, specs, *seed, *shards, *coalesce, *macro)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcsim:", err)
 			os.Exit(1)
@@ -138,10 +139,11 @@ type runOut struct {
 	run faircc.RunStats
 }
 
-func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec, seed int64, shards int, coalesce bool) ([]faircc.FlowRecord, runOut, error) {
+func run(protocol string, vaisf bool, ftCfg faircc.FatTreeConfig, specs []faircc.FlowSpec, seed int64, shards int, coalesce, macro bool) ([]faircc.FlowRecord, runOut, error) {
 	eng := faircc.NewEngine()
 	nw := faircc.NewNetwork(eng, seed)
 	nw.AckCoalesce = coalesce
+	nw.MacroEvents = macro
 	ft := faircc.NewFatTree(nw, ftCfg)
 	if shards > 1 {
 		assign, k := ft.ShardMap(shards)

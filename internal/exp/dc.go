@@ -70,6 +70,7 @@ func runDC(cfg Config, v variant, ftCfg topo.FatTreeConfig, specs []net.FlowSpec
 	eng := sim.NewEngine()
 	nw := net.New(eng, cfg.Seed)
 	nw.AckCoalesce = cfg.AckCoalesce
+	nw.MacroEvents = cfg.MacroEvents
 	ft := topo.NewFatTree(nw, ftCfg)
 	if cfg.Shards > 1 {
 		assign, k := ft.ShardMap(cfg.Shards)

@@ -62,6 +62,14 @@ type Config struct {
 	// the ack-coalesce experiment measures the divergence explicitly.
 	AckCoalesce bool
 
+	// MacroEvents enables macro-event packet trains in every simulation
+	// the experiment runs (net.Network.MacroEvents): line-rate pacing
+	// wakeups are fused into port drain events. Results are bit-identical
+	// either way — the fusion preserves execution order exactly — so this
+	// only changes engine event counts and wall time; the macro-events
+	// experiment checks the identity and measures the elision.
+	MacroEvents bool
+
 	// RTT-heterogeneity knobs for the rtt-unfairness experiments (zero =
 	// each scenario's preset; other experiments ignore them).
 	// RTTSlowDelay overrides the slow group's access-link propagation

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"fmt"
+
+	"faircc/internal/metrics"
+	"faircc/internal/net"
+	"faircc/internal/par"
+)
+
+// The macro-events experiment is the determinism audit and savings report
+// for macro-event packet trains (net.Network.MacroEvents): the same fig10
+// scenario — Hadoop traffic on the fat-tree under all four protocols — run
+// with per-packet pacing wakeups and with train fusion on, side by side.
+// Unlike ack-coalesce (a controlled behavioral divergence), train fusion is
+// an exact elision: the fused wakeup would have executed at the very next
+// sequence number of the same timestamp, so every per-flow record must
+// match bit for bit between modes. The experiment hard-fails on the first
+// mismatch rather than plotting a divergence — a non-empty diff means the
+// fusion proof no longer holds and the goldens are at risk. The interesting
+// outputs are the elision counters: how many scheduler round trips the
+// trains removed, and the merge rate relative to data-packet sends.
+// EXPERIMENTS.md records the savings table this produces.
+
+func init() {
+	register(&Experiment{
+		Name: "macro-events",
+		Title: "Macro-event trains: bit-identity audit and scheduler savings, " +
+			"Hadoop traffic on the fat-tree",
+		Run: runMacroEvents,
+	})
+}
+
+// macroOut is one (variant, mode) run's output.
+type macroOut struct {
+	records []metrics.FlowRecord
+	stats   net.NetworkStats
+}
+
+// macroModeLabel names the two pacing models in series labels and notes.
+func macroModeLabel(macro bool) string {
+	if macro {
+		return "trains"
+	}
+	return "per-packet"
+}
+
+func runMacroEvents(cfg Config) (*Result, error) {
+	ftCfg, duration, err := dcScale(cfg)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := dcTraffic(cfg, ftCfg, duration, "hadoop")
+	if err != nil {
+		return nil, err
+	}
+	p := dcParams(dcMinBDP(ftCfg), ftCfg.HostBps)
+	vs := dcVariants(p)
+
+	// All (variant, mode) pairs in parallel: i%len(vs) picks the variant,
+	// i/len(vs) the mode, so the two modes of one variant share identical
+	// traffic and must produce identical results.
+	outs, err := par.MapErr(2*len(vs), cfg.Workers, func(i int) (macroOut, error) {
+		c := cfg
+		c.MacroEvents = i >= len(vs)
+		records, stats, err := runDC(c, vs[i%len(vs)], ftCfg, specs)
+		if err != nil {
+			return macroOut{}, fmt.Errorf("%s: %w", macroModeLabel(c.MacroEvents), err)
+		}
+		return macroOut{records: records, stats: stats}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Name: "macro-events",
+		Title:  "FCT slowdown under macro-event trains (must equal per-packet)",
+		XLabel: "flow size (bytes)",
+		YLabel: "p99.9 FCT slowdown"}
+	res.Notef("scale=%s hosts=%d duration=%v load=%.0f%% flows=%d",
+		cfg.Scale, ftCfg.NumHosts(), duration, dcLoad*100, len(specs))
+
+	// Bit-identity audit, then the paired savings notes.
+	for i, v := range vs {
+		off, on := outs[i], outs[i+len(vs)]
+		if err := sameRecords(off.records, on.records); err != nil {
+			return nil, fmt.Errorf("%s: macro-event trains diverged from per-packet execution: %w", v.label, err)
+		}
+		if off.stats.DataSent != on.stats.DataSent || off.stats.AcksSent != on.stats.AcksSent {
+			return nil, fmt.Errorf("%s: traffic counters diverged: data %d vs %d, acks %d vs %d",
+				v.label, off.stats.DataSent, on.stats.DataSent, off.stats.AcksSent, on.stats.AcksSent)
+		}
+		rate := 0.0
+		if on.stats.DataSent > 0 {
+			rate = 100 * float64(on.stats.EventsElided) / float64(on.stats.DataSent)
+		}
+		res.Notef("%s: bit-identical; %d pacing wakeups fused into drains (%.2f%% of data sends)",
+			v.label, on.stats.EventsElided, rate)
+	}
+
+	// One curve per variant (the modes are identical, so plot the train
+	// mode's records — the audit above guarantees the other would overlay).
+	for i, v := range vs {
+		s := Series{Label: v.label}
+		for _, b := range metrics.BucketBySize(outs[i+len(vs)].records, 100, 99.9) {
+			s.Add(float64(b.MaxSize), b.Slowdown)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// sameRecords asserts two flow-record sets are bit-identical, reporting the
+// first mismatch with enough context to debug a broken fusion invariant.
+func sameRecords(a, b []metrics.FlowRecord) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return nil
+}

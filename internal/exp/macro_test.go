@@ -1,0 +1,101 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMacroEventsExperiment runs the bit-identity audit at small scale:
+// all four protocols must pass the hard per-flow record comparison the
+// experiment performs between per-packet and train-fused execution, and
+// every variant must actually fuse some wakeups (the fat-tree workload
+// opens every flow at line rate, exactly the cadence trains target).
+func TestMacroEventsExperiment(t *testing.T) {
+	cfg := Config{Seed: 1, Scale: "small"}
+	res, err := Run("macro-events", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4 (one per protocol; modes are identical)", len(res.Series))
+	}
+	for _, s := range res.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("series %q is empty", s.Label)
+		}
+	}
+	fused := 0
+	for _, n := range res.Notes {
+		if strings.Contains(n, "bit-identical") && !strings.Contains(n, "; 0 pacing wakeups") {
+			fused++
+		}
+	}
+	if fused != 4 {
+		t.Fatalf("%d variants fused wakeups, want all 4; notes: %v", fused, res.Notes)
+	}
+}
+
+// TestMacroEventsConfigPlumbing: the Config knob must reach the network
+// and must not change results — drive the fig10 path at small scale and
+// require identical per-flow records with a nonzero elision count.
+func TestMacroEventsConfigPlumbing(t *testing.T) {
+	cfg := Config{Seed: 1, Scale: "small"}
+	ftCfg, duration, err := dcScale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := dcTraffic(cfg, ftCfg, duration, "hadoop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dcParams(dcMinBDP(ftCfg), ftCfg.HostBps)
+	v := dcVariants(p)[0]
+
+	offRecs, off, err := runDC(cfg, v, ftCfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.EventsElided != 0 {
+		t.Fatalf("elided %d events with the knob off", off.EventsElided)
+	}
+	on := cfg
+	on.MacroEvents = true
+	onRecs, st, err := runDC(on, v, ftCfg, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.EventsElided == 0 {
+		t.Fatal("knob on but no wakeup fused on the fat-tree workload")
+	}
+	if err := sameRecords(offRecs, onRecs); err != nil {
+		t.Fatalf("train fusion changed results: %v", err)
+	}
+	if off.DataSent != st.DataSent || off.AcksSent != st.AcksSent {
+		t.Fatalf("traffic counters diverged: off %+v on %+v", off, st)
+	}
+}
+
+// TestMacroEventsCSVBitIdentical is the end-to-end half of the exactness
+// contract: the recorded golden experiments (fig9's fairness trace and
+// fig10's FCT percentiles) must produce byte-identical CSVs with train
+// fusion on and off, on the sequential engine and under -shards 4 alike.
+// This is the differential that licenses leaving the goldens untouched.
+func TestMacroEventsCSVBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("datacenter runs in -short mode")
+	}
+	for _, name := range []string{"fig9", "fig10"} {
+		for _, shards := range []int{0, 4} {
+			off := DefaultConfig()
+			off.Scale = "small"
+			off.Shards = shards
+			on := off
+			on.MacroEvents = true
+			a := runToCSV(t, name, off)
+			b := runToCSV(t, name, on)
+			if a != b {
+				t.Fatalf("%s -shards %d: CSV differs between per-packet and train-fused runs", name, shards)
+			}
+		}
+	}
+}

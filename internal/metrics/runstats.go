@@ -40,7 +40,13 @@ type RunStats struct {
 	// ACK by receiver-side coalescing (Network.AckCoalesce). Omitted when
 	// zero so manifests of historical (and default-config) runs keep their
 	// exact key set. AcksSent + AcksCoalesced == DataDelivered + DataOutOfSeq.
-	AcksCoalesced int64   `json:"acks_coalesced,omitempty"`
+	AcksCoalesced int64 `json:"acks_coalesced,omitempty"`
+	// EventsElided counts pacing wakeups fused into the port drain that
+	// precedes them by macro-event trains (Network.MacroEvents). Each one is
+	// a scheduler round trip that never happened; simulation results are
+	// bit-identical either way. Omitted when zero so manifests of historical
+	// (and default-config) runs keep their exact key set.
+	EventsElided  int64   `json:"events_elided,omitempty"`
 	ECNMarks      int64   `json:"ecn_marks"`
 	PFCPauses     int64   `json:"pfc_pauses"`
 	PoolGets      int64   `json:"pool_gets"`
@@ -58,6 +64,14 @@ type RunStats struct {
 	RTOFires     int64 `json:"rto_fires"`
 	DupAcks      int64 `json:"dup_acks"`
 	DataOutOfSeq int64 `json:"data_out_of_seq"`
+
+	// Egress-queue capacity management (net.NetworkStats.QueueCapPeak /
+	// QueueShrinks): the largest ring capacity any egress queue reached (max
+	// across runs) and the halvings the underuse policy performed (summed).
+	// Omitted when zero — runs too small to grow past the initial capacity
+	// keep their historical key set.
+	QueueCapPeak int64 `json:"queue_cap_peak,omitempty"`
+	QueueShrinks int64 `json:"queue_shrinks,omitempty"`
 
 	// Parallel-execution figures (omitted from JSON on sequential runs,
 	// so historical manifests keep their exact key set). Shards is the
@@ -138,6 +152,7 @@ func (s *RunStats) fillNetwork(ns net.NetworkStats) {
 	s.DataDelivered = ns.DataDelivered
 	s.AcksSent = ns.AcksSent
 	s.AcksCoalesced = ns.AcksCoalesced
+	s.EventsElided = ns.EventsElided
 	s.ECNMarks = ns.ECNMarks
 	s.PFCPauses = ns.PFCPauses
 	s.PoolGets = ns.PoolGets
@@ -150,6 +165,8 @@ func (s *RunStats) fillNetwork(ns net.NetworkStats) {
 	s.RTOFires = ns.RTOFires
 	s.DupAcks = ns.DupAcks
 	s.DataOutOfSeq = ns.DataOutOfSeq
+	s.QueueCapPeak = ns.QueueCapPeak
+	s.QueueShrinks = ns.QueueShrinks
 }
 
 // Add merges another snapshot into s (summing counters, taking the max of
@@ -180,6 +197,11 @@ func (s *RunStats) Add(o RunStats) {
 	s.RTOFires += o.RTOFires
 	s.DupAcks += o.DupAcks
 	s.DataOutOfSeq += o.DataOutOfSeq
+	s.EventsElided += o.EventsElided
+	s.QueueShrinks += o.QueueShrinks
+	if o.QueueCapPeak > s.QueueCapPeak {
+		s.QueueCapPeak = o.QueueCapPeak
+	}
 	if o.PeakFCTRecords > s.PeakFCTRecords {
 		s.PeakFCTRecords = o.PeakFCTRecords
 	}
@@ -232,6 +254,9 @@ func (s RunStats) String() string {
 	}
 	if s.AcksCoalesced > 0 {
 		out += fmt.Sprintf(", %d acks coalesced", s.AcksCoalesced)
+	}
+	if s.EventsElided > 0 {
+		out += fmt.Sprintf(", %d events elided", s.EventsElided)
 	}
 	if s.Shards > 1 {
 		out += fmt.Sprintf(", %d shards, %d epochs", s.Shards, s.Epochs)

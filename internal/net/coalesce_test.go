@@ -14,12 +14,12 @@ func deliverData(nw *Network, h *Host, f *Flow, seq int64, payload int, ecn bool
 	p := nw.shards[0].getPacket()
 	p.Kind = Data
 	p.Flow = f
-	p.Src = f.Spec.Src
-	p.Dst = f.Spec.Dst
+	p.Src = int32(f.Spec.Src)
+	p.Dst = int32(f.Spec.Dst)
 	p.Seq = seq
-	p.Payload = payload
-	p.Wire = payload + nw.HeaderBytes
-	p.SentAt = sentAt
+	p.side.Payload = int32(payload)
+	p.Wire = int32(payload + nw.HeaderBytes)
+	p.side.SentAt = sentAt
 	p.ECN = ecn
 	h.receiveData(p)
 }
@@ -44,7 +44,7 @@ func TestAckCoalesceMergesQueuedAck(t *testing.T) {
 		t.Fatalf("queue len = %d after first delivery, want 1 (the ACK)", h1.port.q.Len())
 	}
 	pa := f.pendingAck
-	if pa == nil || pa.Kind != Ack || pa.AckSeq != 1000 {
+	if pa == nil || pa.Kind != Ack || pa.side.AckSeq != 1000 {
 		t.Fatalf("pendingAck not registered for the queued ACK: %+v", pa)
 	}
 
@@ -55,11 +55,11 @@ func TestAckCoalesceMergesQueuedAck(t *testing.T) {
 	if f.pendingAck != pa {
 		t.Fatal("coalescing replaced the pending ACK instead of updating it")
 	}
-	if pa.AckSeq != 2000 {
-		t.Fatalf("AckSeq = %d, want 2000 (cumulative position advanced)", pa.AckSeq)
+	if pa.side.AckSeq != 2000 {
+		t.Fatalf("AckSeq = %d, want 2000 (cumulative position advanced)", pa.side.AckSeq)
 	}
-	if pa.SentAt != 20*usec {
-		t.Fatalf("SentAt = %v, want the newest sample 20us", pa.SentAt)
+	if pa.side.SentAt != 20*usec {
+		t.Fatalf("SentAt = %v, want the newest sample 20us", pa.side.SentAt)
 	}
 	if !pa.ECE {
 		t.Fatal("ECN mark on the merged delivery did not OR into ECE")

@@ -92,7 +92,7 @@ func TestPacketPoolReuse(t *testing.T) {
 	}
 	// Recycled packets must be clean.
 	for _, p := range nw.shards[0].pool {
-		if p.Flow != nil || p.Payload != 0 || p.ECN || len(p.Hops) != 0 {
+		if p.Flow != nil || p.side.Payload != 0 || p.ECN || len(p.side.Hops) != 0 {
 			t.Fatalf("dirty packet in pool: %+v", p)
 		}
 		if p.arrive == nil {

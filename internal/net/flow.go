@@ -44,6 +44,14 @@ type Flow struct {
 	pending   sim.EventID
 	pendingAt sim.Time
 	wake      func() // onWake bound once: the pacing-wakeup event body
+	// trainArmed/trainAt track an elided pacing wakeup (Network.
+	// MacroEvents): instead of an engine event, the uplink's drain event
+	// runs onWake when it fires at trainAt. Invariant: trainArmed iff
+	// host.port.trainFlow == f. At most one flow per port can be armed —
+	// arming requires the flow's own packet to be the one in the
+	// transmitter.
+	trainArmed bool
+	trainAt    sim.Time
 
 	// Loss recovery (armed only when Network.LossRecovery is set). The
 	// timer is lazy: progress just pushes rtoDeadline forward, and the
@@ -269,11 +277,39 @@ func (f *Flow) trySend() {
 		return
 	}
 	now := f.eng.Now()
+	// justSent tracks the packet the previous loop iteration transmitted,
+	// the anchor for macro-event train arming (compared by pointer only:
+	// a tail-dropped packet is back in the pool and must not be followed).
+	var justSent *Packet
 	for f.sent < f.Spec.Size {
 		if float64(f.inflight) >= f.ctl.WindowBytes {
 			return // window closed; an ACK will reopen it
 		}
 		if now < f.nextSend {
+			if f.trainArmed {
+				if f.trainAt == f.nextSend {
+					return // the armed drain already doubles as this wakeup
+				}
+				// The pacing horizon moved under an armed train (an RTO
+				// rewind advanced nextSend): fall back to a real wakeup,
+				// exactly where the unfused path would cancel-and-reschedule.
+				f.disarmTrain()
+			} else if f.net.MacroEvents && justSent != nil {
+				if pt := f.host.port; pt.txPkt == justSent &&
+					f.nextSend == now+pt.serialize(int(justSent.Wire)) {
+					// Line-rate train: the packet we just cut-through-sent
+					// finishes serializing exactly at the pacing horizon, and
+					// its drain was the last event scheduled — the wakeup
+					// would sit at the same timestamp on the adjacent
+					// tie-break sequence, so the drain can run it instead of
+					// the engine (see Port.drain). No event is scheduled.
+					pt.trainFlow = f
+					f.trainArmed = true
+					f.trainAt = f.nextSend
+					f.sh.wakesElided++
+					return
+				}
+			}
 			f.schedule(f.nextSend)
 			return
 		}
@@ -284,12 +320,12 @@ func (f *Flow) trySend() {
 		p := f.sh.getPacket()
 		p.Kind = Data
 		p.Flow = f
-		p.Src = f.Spec.Src
-		p.Dst = f.Spec.Dst
+		p.Src = int32(f.Spec.Src)
+		p.Dst = int32(f.Spec.Dst)
 		p.Seq = f.sent
-		p.Payload = int(payload)
-		p.Wire = int(payload) + f.net.HeaderBytes
-		p.SentAt = now
+		p.side.Payload = int32(payload)
+		p.Wire = int32(int(payload) + f.net.HeaderBytes)
+		p.side.SentAt = now
 		// Stamp the flat path while the Flow is hot in cache; switch hops
 		// then forward without touching it (see Packet.path).
 		p.path, p.pathEpoch = f.fwdPath, f.pathEpoch
@@ -304,10 +340,10 @@ func (f *Flow) trySend() {
 		f.inflight += payload
 		f.sh.dataSent++
 		if h := f.net.Hooks.OnSend; h != nil {
-			h(f, p.Seq, p.Payload)
+			h(f, p.Seq, int(payload))
 		}
 		// Pace the full wire size at the controlled rate.
-		gap := f.paceGap(p.Wire)
+		gap := f.paceGap(int(p.Wire))
 		if f.nextSend < now {
 			f.nextSend = now
 		}
@@ -317,7 +353,16 @@ func (f *Flow) trySend() {
 			f.armRTO()
 		}
 		f.host.port.send(p)
+		justSent = p
 	}
+}
+
+// disarmTrain dissolves an armed macro-event train back to ordinary
+// scheduling. Safe only while trainArmed (the invariant guarantees the
+// uplink's trainFlow is this flow).
+func (f *Flow) disarmTrain() {
+	f.trainArmed = false
+	f.host.port.trainFlow = nil
 }
 
 // paceGap returns TransmitTime(wire, f.ctl.RateBps) through the flow's
@@ -403,12 +448,12 @@ func (f *Flow) schedule(at sim.Time) {
 // data sent before a go-back-N rewind can land after it, so stale and
 // duplicate ACKs are normal here rather than impossible.
 func (f *Flow) onAck(p *Packet) {
-	newly := p.AckSeq - f.acked
+	newly := p.side.AckSeq - f.acked
 	if newly <= 0 {
 		f.sh.dupAcks++
 		return // duplicate or stale cumulative ACK; RTO drives recovery
 	}
-	f.acked = p.AckSeq
+	f.acked = p.side.AckSeq
 	f.inflight -= newly
 	if f.inflight < 0 {
 		// An ACK covering data resent after a spurious timeout: the
@@ -434,13 +479,13 @@ func (f *Flow) onAck(p *Packet) {
 	}
 	f.ctl = f.algo.OnAck(cc.Feedback{
 		Now:        now,
-		RTT:        now - p.SentAt,
-		SentAt:     p.SentAt,
+		RTT:        now - p.side.SentAt,
+		SentAt:     p.side.SentAt,
 		AckedBytes: f.acked,
 		SentBytes:  f.sent,
 		NewlyAcked: int(newly),
 		ECE:        p.ECE,
-		Hops:       p.Hops,
+		Hops:       p.side.Hops,
 	})
 	if h := f.net.Hooks.OnControl; h != nil {
 		h(f, f.ctl)
@@ -455,6 +500,12 @@ func (f *Flow) finish(now sim.Time) {
 	if f.pending.Valid() {
 		f.eng.Cancel(f.pending)
 		f.pending = sim.EventID{}
+	}
+	if f.trainArmed {
+		// A final ACK can land while the previous packet is still
+		// serializing with a train armed; the unfused path would cancel
+		// the wakeup here, so the drain must not run it either.
+		f.disarmTrain()
 	}
 	if f.net.OnFlowFinish != nil {
 		f.net.OnFlowFinish(f)

@@ -41,17 +41,17 @@ func (h *Host) Receive(p *Packet, in *Port) {
 
 func (h *Host) receiveData(p *Packet) {
 	f := p.Flow
-	if p.Dst != h.id {
+	if int(p.Dst) != h.id {
 		panic("net: data packet delivered to wrong host")
 	}
 	if p.Seq == f.delivered {
-		f.delivered += int64(p.Payload)
+		f.delivered += int64(p.side.Payload)
 		h.sh.dataDelivered++
 		if f.delivered >= f.Spec.Size {
 			f.DeliveredAt = h.sh.eng.Now()
 		}
 		if hook := h.net.Hooks.OnDeliver; hook != nil {
-			hook(f, p.Seq, p.Payload)
+			hook(f, p.Seq, int(p.side.Payload))
 		}
 	} else {
 		// Out of sequence: a gap means a drop upstream (go-back-N will
@@ -74,9 +74,9 @@ func (h *Host) receiveData(p *Packet) {
 			// per-packet path applies. No new control event exists —
 			// the merged ACK's serialization, per-hop forwarding, and
 			// sender processing all disappear from the run.
-			pa.AckSeq = f.delivered
-			pa.SentAt = p.SentAt
-			pa.Hops = append(pa.Hops[:0], p.Hops...)
+			pa.side.AckSeq = f.delivered
+			pa.side.SentAt = p.side.SentAt
+			pa.side.Hops = append(pa.side.Hops[:0], p.side.Hops...)
 			if p.ECN {
 				now := h.sh.eng.Now()
 				if h.net.CNPInterval == 0 || now-f.lastCNP >= h.net.CNPInterval {
@@ -93,11 +93,11 @@ func (h *Host) receiveData(p *Packet) {
 	ack := h.sh.getPacket()
 	ack.Kind = Ack
 	ack.Flow = f
-	ack.Src = h.id
+	ack.Src = int32(h.id)
 	ack.Dst = p.Src
-	ack.Wire = h.net.AckBytes
-	ack.AckSeq = f.delivered
-	ack.SentAt = p.SentAt
+	ack.Wire = int32(h.net.AckBytes)
+	ack.side.AckSeq = f.delivered
+	ack.side.SentAt = p.side.SentAt
 	// Stamp the reverse flat path while the Flow is hot in cache; switch
 	// hops then forward without touching it (see Packet.path).
 	ack.path, ack.pathEpoch = f.revPath, f.pathEpoch
@@ -108,7 +108,7 @@ func (h *Host) receiveData(p *Packet) {
 	// packet re-grew a Hops array from scratch, a steady-state allocation
 	// per forwarding. A copy of at most a few Telemetry records lets both
 	// packets keep their grown backing forever.
-	ack.Hops = append(ack.Hops[:0], p.Hops...)
+	ack.side.Hops = append(ack.side.Hops[:0], p.side.Hops...)
 	if p.ECN {
 		now := h.sh.eng.Now()
 		if h.net.CNPInterval == 0 || now-f.lastCNP >= h.net.CNPInterval {

@@ -83,8 +83,8 @@ func TestPFCResumeCannotOvertakePause(t *testing.T) {
 		filler := nw.shards[0].getPacket()
 		filler.Kind = Ack
 		filler.Flow = f
-		filler.Src = h1.NodeID()
-		filler.Dst = h0.NodeID()
+		filler.Src = int32(h1.NodeID())
+		filler.Dst = int32(h0.NodeID())
 		filler.Wire = 100_000
 		sp0.send(filler)
 	})

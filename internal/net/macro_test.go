@@ -1,0 +1,181 @@
+package net
+
+import (
+	"testing"
+
+	"faircc/internal/cc"
+	"faircc/internal/sim"
+)
+
+// macroPair runs the same scenario with macro-event trains off and on and
+// requires bit-identical outcomes: every flow's completion and delivery
+// times and the full network counter snapshot (minus the elision counter
+// itself) must match exactly. It returns the train-fused run's stats so
+// scenarios can assert the condition they force actually occurred.
+func macroPair(t *testing.T, nHosts int, seed int64, setup func(eng *sim.Engine, nw *Network, sw *Switch)) NetworkStats {
+	t.Helper()
+	run := func(macro bool) ([]sim.Time, NetworkStats) {
+		eng, nw, sw := star(t, nHosts, seed)
+		nw.MacroEvents = macro
+		setup(eng, nw, sw)
+		eng.Run()
+		if !nw.AllFinished() {
+			t.Fatalf("macro=%v: flows did not finish", macro)
+		}
+		if err := nw.CheckConservation(); err != nil {
+			t.Fatalf("macro=%v: %v", macro, err)
+		}
+		var times []sim.Time
+		for _, f := range nw.Flows() {
+			times = append(times, f.FinishedAt, f.DeliveredAt)
+		}
+		return times, nw.Stats()
+	}
+	offT, offSt := run(false)
+	onT, onSt := run(true)
+	if offSt.EventsElided != 0 {
+		t.Fatalf("elided %d events with the knob off", offSt.EventsElided)
+	}
+	for i := range offT {
+		if offT[i] != onT[i] {
+			t.Fatalf("flow time %d diverged: per-packet %v vs trains %v", i, offT[i], onT[i])
+		}
+	}
+	scrubbed := onSt
+	scrubbed.EventsElided = 0
+	if offSt != scrubbed {
+		t.Fatalf("counters diverged beyond the elision count:\nper-packet %+v\ntrains     %+v", offSt, onSt)
+	}
+	return onSt
+}
+
+// lineRateFlow adds a flow paced exactly at line rate with an open window —
+// the cadence where every cut-through send's pacing wakeup lands at the
+// drain instant and the train stays armed packet to packet.
+func lineRateFlow(nw *Network, id, src, dst int, size int64, start sim.Time) *Flow {
+	algo := &fixedAlgo{ctl: cc.Control{WindowBytes: 1e9, RateBps: gbps100}}
+	return nw.AddFlow(FlowSpec{ID: id, Src: src, Dst: dst, Size: size, Start: start}, algo)
+}
+
+// TestMacroTrainElidesAtLineRate pins the base case: an uncontended
+// line-rate flow fuses nearly every pacing wakeup into the drain that
+// precedes it, and the results are bit-identical to per-packet execution.
+func TestMacroTrainElidesAtLineRate(t *testing.T) {
+	st := macroPair(t, 2, 1, func(eng *sim.Engine, nw *Network, sw *Switch) {
+		lineRateFlow(nw, 1, 0, 1, 500_000, 0)
+	})
+	// 500 KB / 1000-byte MTU is ~500 packets; all but the first send of
+	// each burst ride the train.
+	if st.EventsElided < 400 {
+		t.Fatalf("elided %d wakeups, want the bulk of ~500 sends", st.EventsElided)
+	}
+}
+
+// TestMacroTrainDissolvesUnderPFCPause: a 2:1 incast with PFC on pauses
+// the senders' uplinks mid-train. A pause parks the transmitter, so the
+// armed drain still fires and the fused wakeup must behave exactly like a
+// scheduled one that finds the port paused.
+func TestMacroTrainDissolvesUnderPFCPause(t *testing.T) {
+	st := macroPair(t, 3, 2, func(eng *sim.Engine, nw *Network, sw *Switch) {
+		nw.PFCPauseBytes = 20_000
+		lineRateFlow(nw, 1, 0, 2, 300_000, 0)
+		lineRateFlow(nw, 2, 1, 2, 300_000, 0)
+	})
+	if st.PFCPauses == 0 {
+		t.Fatal("scenario never paused; PFC dissolution unexercised")
+	}
+	if st.EventsElided == 0 {
+		t.Fatal("no train armed under the incast; dissolution unexercised")
+	}
+}
+
+// TestMacroTrainDissolvesUnderTailDrop: a finite egress buffer tail-drops
+// mid-incast and go-back-N rewinds senders. An RTO rewind moves nextSend
+// under an armed train — the explicit disarm path — and a tail-dropped
+// packet returns to the pool, which the pointer-compared train anchor must
+// never follow.
+func TestMacroTrainDissolvesUnderTailDrop(t *testing.T) {
+	st := macroPair(t, 3, 3, func(eng *sim.Engine, nw *Network, sw *Switch) {
+		nw.LossRecovery = true
+		nw.BufferBytes = 20_000
+		lineRateFlow(nw, 1, 0, 2, 300_000, 0)
+		lineRateFlow(nw, 2, 1, 2, 300_000, 0)
+	})
+	if st.BufferDrops == 0 || st.Retransmits == 0 {
+		t.Fatalf("scenario never dropped and recovered (drops=%d rtx=%d); dissolution unexercised",
+			st.BufferDrops, st.Retransmits)
+	}
+	if st.EventsElided == 0 {
+		t.Fatal("no train armed under the incast; dissolution unexercised")
+	}
+}
+
+// TestMacroTrainDissolvesOnRouteEpochBump: a mid-run AddRoute bumps the
+// network's route epoch, invalidating every in-flight packet's flat path.
+// Trains armed across the bump must forward identically to per-packet
+// execution (the packet in the transmitter re-resolves per hop).
+func TestMacroTrainDissolvesOnRouteEpochBump(t *testing.T) {
+	st := macroPair(t, 2, 4, func(eng *sim.Engine, nw *Network, sw *Switch) {
+		lineRateFlow(nw, 1, 0, 1, 500_000, 0)
+		// Re-adding the same egress port turns the destination's route into
+		// a (degenerate) ECMP group: packets still take the same wire, but
+		// the epoch bump forces every later send off the flat fast path.
+		to1 := sw.RouteCandidates(1)[0]
+		eng.At(20*usec, func() { sw.AddRoute(1, to1) })
+	})
+	if st.EventsElided == 0 {
+		t.Fatal("no train armed across the epoch bump; dissolution unexercised")
+	}
+}
+
+// TestMacroTrainDissolvesUnderLinkFlap: the sender's uplink goes down
+// mid-train, losing in-flight packets until the flap ends. The armed drain
+// fires into a dead link exactly as a scheduled wakeup would, and recovery
+// re-arms trains afterwards.
+func TestMacroTrainDissolvesUnderLinkFlap(t *testing.T) {
+	st := macroPair(t, 2, 5, func(eng *sim.Engine, nw *Network, sw *Switch) {
+		nw.LossRecovery = true
+		lineRateFlow(nw, 1, 0, 1, 500_000, 0)
+		nw.Hosts()[0].Port().ScheduleFlap(10*usec, 20*usec)
+	})
+	if st.WireDrops == 0 || st.RTOFires == 0 {
+		t.Fatalf("flap never lost anything (wire=%d rto=%d); dissolution unexercised",
+			st.WireDrops, st.RTOFires)
+	}
+	if st.EventsElided == 0 {
+		t.Fatal("no train armed around the flap; dissolution unexercised")
+	}
+}
+
+// TestMacroTrainSteadyStateZeroAlloc pins the armed-train hot path at zero
+// allocations: arming stores two fields and a pointer, and the drain runs
+// the wakeup body inline, so a line-rate train in steady state must not
+// allocate at all.
+func TestMacroTrainSteadyStateZeroAlloc(t *testing.T) {
+	eng, nw, _ := star(t, 2, 1)
+	nw.MacroEvents = true
+	lineRateFlow(nw, 1, 0, 1, 1<<40, 0)
+	for i := 0; i < 100_000; i++ {
+		if !eng.Step() {
+			t.Fatal("simulation drained during warmup")
+		}
+	}
+	before := nw.Stats()
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 10_000; i++ {
+			if !eng.Step() {
+				t.Fatal("simulation drained mid-measurement")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("armed-train steady state allocates %.1f per 10k events, want 0", allocs)
+	}
+	after := nw.Stats()
+	if after.EventsElided <= before.EventsElided {
+		t.Fatal("measured loop never rode the train")
+	}
+	if after.PoolAllocs != before.PoolAllocs {
+		t.Fatalf("pool grew during steady state: %d -> %d", before.PoolAllocs, after.PoolAllocs)
+	}
+}

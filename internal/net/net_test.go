@@ -372,7 +372,7 @@ func TestQueueRing(t *testing.T) {
 	var q queue
 	ps := make([]*Packet, 100)
 	for i := range ps {
-		ps[i] = &Packet{Wire: i + 1}
+		ps[i] = &Packet{Wire: int32(i + 1)}
 	}
 	// Interleaved push/pop across growth boundaries preserves FIFO.
 	next := 0

@@ -45,21 +45,25 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
-// Packet is a simulated packet. Packets are pooled by the Network; user
-// code must not retain them after handing them off.
-//
-// Field order is deliberate: the fields a switch hop touches (kind, hop
-// cursor, wire size, flat path, arrival plumbing) pack into the first 64
-// bytes so per-hop forwarding warms a single cache line; the fields only
-// the endpoints read follow.
+// Packet is a simulated packet's hot core: the fixed-size state the
+// forwarding path (switch dispatch, egress queues, transmitters,
+// propagation) touches per hop, packed into 96 bytes — two cache lines —
+// so a hop never pulls endpoint-only state into cache. Everything the
+// endpoints (and INT stamping) need beyond that lives in the packet's
+// side table (see packetSide); the two are co-allocated slab-by-slab and
+// paired for the packet's whole pooled lifetime. Packets are pooled by
+// the Network; user code must not retain them after handing them off.
 type Packet struct {
 	Kind Kind
 	// hop counts the switches this packet has traversed; it is the cursor
 	// into path. Pool-reset to zero before every send.
-	hop  uint8
-	ECN  bool // congestion-experienced mark set by RED
-	ECE  bool // ack: congestion echo (CNP)
-	Wire int  // total on-wire bytes (payload + header)
+	hop uint8
+	ECN bool // congestion-experienced mark set by RED
+	ECE bool // ack: congestion echo (CNP); rides in hot padding for free
+	// Wire is the total on-wire bytes (payload + header). int32: wire
+	// sizes are bounded by MTU + header, and the narrower field keeps the
+	// hot core inside two cache lines.
+	Wire int32
 
 	// path and pathEpoch are the flow's pre-resolved flat path (forward
 	// for data, reverse for ACKs), stamped onto the packet at send time —
@@ -82,23 +86,33 @@ type Packet struct {
 	dest   *Port
 	arrive func()
 
-	Flow    *Flow
-	Src     int // source host id (for routing)
-	Dst     int // destination host id (for routing)
-	Seq     int64
-	Payload int // payload bytes (0 for control)
-
-	SentAt sim.Time // data: when it left the sender; ack: echo of the same
-	AckSeq int64    // ack: cumulative payload bytes received
-	Hops   []cc.Telemetry
+	Flow *Flow
+	Src  int32 // source host id (for routing)
+	Dst  int32 // destination host id (for routing)
+	Seq  int64
 
 	ingress *Port // switch-internal: arrival port for PFC accounting
+
+	// side is the packet's cold half, bound at slab allocation and kept
+	// across pool recycling.
+	side *packetSide
 }
 
-// reset clears a pooled packet for reuse, keeping the Hops backing array
-// and the bound arrival closure.
+// packetSide is the cold half of a packet: state only the endpoints read
+// or write (plus INT stamping at switch egress), split out of the hot
+// core so per-hop forwarding, queueing, and transmission never touch it.
+type packetSide struct {
+	SentAt  sim.Time // data: when it left the sender; ack: echo of the same
+	AckSeq  int64    // ack: cumulative payload bytes received
+	Payload int32    // payload bytes (0 for control)
+	Hops    []cc.Telemetry
+}
+
+// reset clears a pooled packet for reuse, keeping the side-table binding
+// (with its grown Hops backing array) and the bound arrival closure.
 func (p *Packet) reset() {
-	hops := p.Hops[:0]
+	s := p.side
+	*s = packetSide{Hops: s.Hops[:0]}
 	arrive := p.arrive
-	*p = Packet{Hops: hops, arrive: arrive}
+	*p = Packet{arrive: arrive, side: s}
 }

@@ -40,6 +40,7 @@ type shard struct {
 	dataDelivered int64
 	acksSent      int64
 	acksCoalesced int64 // acknowledgements folded into a queued ACK (AckCoalesce)
+	wakesElided   int64 // pacing wakeups fused into port drains (MacroEvents)
 	ecnMarks      int64
 	poolGets      int64
 	poolAllocs    int64
@@ -72,6 +73,15 @@ func newShard(n *Network, id int, eng *sim.Engine) *shard {
 	}
 }
 
+// packetSlab is how many packets a pool miss allocates at once. Slab
+// allocation lays the hot cores out contiguously (and the side tables in
+// a parallel slab), so a burst that grows the pool leaves its packets
+// cache-dense instead of scattered across the heap, and the allocator
+// runs once per slab rather than once per packet. Packets still migrate
+// between shard pools individually — the side binding is a pointer, so a
+// packet recycled into another shard keeps its own side table.
+const packetSlab = 64
+
 // getPacket returns a pooled packet with its arrival closure bound.
 // Packets migrate between shards with the traffic: a packet obtained from
 // one shard's pool is recycled into the pool of whatever shard it finishes
@@ -85,18 +95,28 @@ func (sh *shard) getPacket() *Packet {
 		sh.pool = sh.pool[:m-1]
 		return p
 	}
+	// Pool miss: carve a fresh slab. poolAllocs still counts misses (the
+	// steady-state health signal), not packets.
 	sh.poolAllocs++
-	p := &Packet{}
-	p.arrive = func() {
-		if d := p.dest; d.ownSw != nil {
-			d.ownSw.Receive(p, d)
-		} else if d.ownHost != nil {
-			d.ownHost.Receive(p, d)
-		} else {
-			d.owner.Receive(p, d)
+	pkts := make([]Packet, packetSlab)
+	sides := make([]packetSide, packetSlab)
+	for i := range pkts {
+		p := &pkts[i]
+		p.side = &sides[i]
+		p.arrive = func() {
+			if d := p.dest; d.ownSw != nil {
+				d.ownSw.Receive(p, d)
+			} else if d.ownHost != nil {
+				d.ownHost.Receive(p, d)
+			} else {
+				d.owner.Receive(p, d)
+			}
+		}
+		if i > 0 {
+			sh.pool = append(sh.pool, p)
 		}
 	}
-	return p
+	return &pkts[0]
 }
 
 // putPacket recycles a packet into this shard's pool. The pool is
@@ -126,7 +146,7 @@ func (sh *shard) dropInTransit(p *Packet) bool {
 		if n.DropAckProb > 0 && sh.faultRand.Float64() < n.DropAckProb {
 			return true
 		}
-		if n.DropFilter != nil && n.DropFilter(Ack, p.Flow.Spec.ID, p.AckSeq) {
+		if n.DropFilter != nil && n.DropFilter(Ack, p.Flow.Spec.ID, p.side.AckSeq) {
 			return true
 		}
 	}
@@ -156,7 +176,7 @@ func (sh *shard) drop(p *Packet, cause DropCause) {
 	if h := sh.net.Hooks.OnDrop; h != nil {
 		seq := p.Seq
 		if p.Kind == Ack {
-			seq = p.AckSeq
+			seq = p.side.AckSeq
 		}
 		h(p.Flow, p.Kind, seq, cause)
 	}

@@ -128,7 +128,7 @@ func (s *Switch) Receive(p *Packet, in *Port) {
 // route resolves a packet's egress port from the dense forwarding table:
 // single-port destinations are one load; ECMP groups hash the flow id.
 func (s *Switch) route(p *Packet) *Port {
-	out := s.lookupRoute(p.Dst, p.Flow.Spec.ID)
+	out := s.lookupRoute(int(p.Dst), p.Flow.Spec.ID)
 	if out == nil {
 		panic(fmt.Sprintf("net: switch %d has no route to host %d", s.id, p.Dst))
 	}
